@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and writes its
+rendered output to ``benchmarks/results/<name>.txt`` (collected into
+EXPERIMENTS.md), in addition to the pytest-benchmark timing measurements.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_LEVEL``
+    Icosahedral subdivision level of the *really simulated* meshes
+    (default 3 = 642 cells; the paper's 120-km mesh is level 6 = 40,962
+    cells and takes minutes per figure in pure Python).
+``REPRO_BENCH_DAYS``
+    Simulated days for the Figure 5 correctness run (default 15, like the
+    paper).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_level() -> int:
+    return int(os.environ.get("REPRO_BENCH_LEVEL", "3"))
+
+
+def bench_days() -> float:
+    return float(os.environ.get("REPRO_BENCH_DAYS", "15"))
+
+
+@pytest.fixture(scope="session")
+def small_mesh():
+    from repro.mesh import cached_mesh
+
+    return cached_mesh(bench_level())
+
+
+@pytest.fixture(scope="session")
+def medium_mesh():
+    from repro.mesh import cached_mesh
+
+    return cached_mesh(min(bench_level() + 1, 6))
+
+
+@pytest.fixture()
+def report():
+    """Write a rendered report block to results/ and echo it."""
+
+    def _write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _write

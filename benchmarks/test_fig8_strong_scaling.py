@@ -1,0 +1,68 @@
+"""Figure 8: strong scaling, 1..64 MPI processes, 30-km and 15-km meshes.
+
+Shape contract from the paper: on the small (30-km) mesh the hybrid design
+scales well up to ~16 processes and then loses efficiency (its per-process
+problem becomes too small for the accelerator); on the large (15-km) mesh it
+"not only outperforms the original CPU code by nearly one magnitude but also
+maintains comparable parallel efficiency".  The CPU version, being ~8x
+slower per process, keeps high efficiency throughout.
+"""
+
+from __future__ import annotations
+
+from repro.bench import fmt_time, render_table
+from repro.parallel import parallel_efficiency, strong_scaling
+
+PROCS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _render(title: str, series) -> str:
+    cpu_eff = parallel_efficiency(series, "cpu")
+    hyb_eff = parallel_efficiency(series, "hybrid")
+    rows = []
+    for pt, ce, he in zip(series, cpu_eff, hyb_eff):
+        rows.append(
+            [
+                pt.n_procs,
+                fmt_time(pt.cpu_time),
+                f"{ce * 100:.0f}%",
+                fmt_time(pt.hybrid_time),
+                f"{he * 100:.0f}%",
+                f"{pt.cpu_time / pt.hybrid_time:.1f}x",
+            ]
+        )
+    return render_table(
+        title,
+        ["procs", "CPU t/step", "CPU eff", "hybrid t/step", "hybrid eff", "hybrid gain"],
+        rows,
+    )
+
+
+def test_fig8_strong_scaling(benchmark, report):
+    series_30, series_15 = benchmark(
+        lambda: (strong_scaling(655362, PROCS), strong_scaling(2621442, PROCS))
+    )
+    text = (
+        _render("Figure 8(a) - strong scaling, 30-km mesh (655,362 cells)", series_30)
+        + "\n\n"
+        + _render("Figure 8(b) - strong scaling, 15-km mesh (2,621,442 cells)", series_15)
+    )
+    report("fig8_strong_scaling", text)
+
+    # Hybrid beats CPU everywhere, by ~an order of magnitude at P=1.
+    for series in (series_30, series_15):
+        for pt in series:
+            assert pt.hybrid_time < pt.cpu_time
+        assert series[0].cpu_time / series[0].hybrid_time > 7.0
+
+    eff_30 = parallel_efficiency(series_30, "hybrid")
+    eff_15 = parallel_efficiency(series_15, "hybrid")
+    cpu_eff_30 = parallel_efficiency(series_30, "cpu")
+
+    # Small mesh: hybrid efficiency degrades beyond ~16 processes ...
+    assert eff_30[PROCS.index(16)] > eff_30[-1]
+    assert eff_30[-1] < 0.75
+    # ... while the CPU version stays efficient on the same mesh,
+    assert cpu_eff_30[-1] > 0.85
+    # ... and the large mesh keeps the hybrid design markedly healthier.
+    assert eff_15[-1] > eff_30[-1] + 0.1

@@ -1,0 +1,49 @@
+"""Table II: the simulated test platform, and the cost model it drives."""
+
+from __future__ import annotations
+
+from repro.bench import render_table
+from repro.machine import (
+    PAPER_CLUSTER,
+    XEON_E5_2680V2,
+    XEON_PHI_5110P,
+    CostModel,
+    ExecutionProfile,
+)
+from repro.machine.counts import TABLE_III_MESHES
+from repro.patterns import build_catalog
+
+
+def test_table2_platform(benchmark, report):
+    cpu_row = XEON_E5_2680V2.table_row()
+    mic_row = XEON_PHI_5110P.table_row()
+    rows = [[key, cpu_row[key], mic_row[key]] for key in cpu_row]
+    table = render_table(
+        "Table II - configurations of the (simulated) test platform",
+        ["", XEON_E5_2680V2.name, XEON_PHI_5110P.name],
+        rows,
+    )
+    extra = render_table(
+        "Cluster",
+        ["nodes", "procs/node", "network GB/s", "PCIe GB/s"],
+        [
+            [
+                PAPER_CLUSTER.n_nodes,
+                PAPER_CLUSTER.processes_per_node,
+                PAPER_CLUSTER.network_bw_gbs,
+                PAPER_CLUSTER.node.pcie_bw_gbs,
+            ]
+        ],
+    )
+    report("table2_platform", table + "\n\n" + extra)
+
+    # Published headline capability numbers survive the spec encoding.
+    assert abs(XEON_E5_2680V2.peak_gflops - 224.0) < 1.0
+    assert abs(XEON_PHI_5110P.peak_gflops - 1010.8) < 50.0
+
+    # Benchmark a full cost-model evaluation over the catalog.
+    catalog = build_catalog()
+    model = CostModel(XEON_PHI_5110P, ExecutionProfile(threads=236, vectorized=True))
+    counts = TABLE_III_MESHES["30-km"]
+    t = benchmark(model.step_time, catalog, counts)
+    assert t > 0.0

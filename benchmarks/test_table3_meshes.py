@@ -1,0 +1,73 @@
+"""Table III + Figure 1: the quasi-uniform SCVT mesh family.
+
+Builds a real SCVT mesh (small level by default; the construction is exact
+at every size), verifies the analytic cell counts of the paper's four
+meshes, and benchmarks the end-to-end mesh construction pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import bench_level
+from repro.bench import render_table
+from repro.geometry import icosahedral_count, resolution_km
+from repro.machine.counts import TABLE_III_MESHES
+from repro.bench import TABLE_III_PAPER
+from repro.mesh import Mesh, assess_quality
+
+
+def test_table3_mesh_family(benchmark, report):
+    rows = []
+    for name, counts in TABLE_III_MESHES.items():
+        paper_cells = TABLE_III_PAPER[name]
+        assert counts.nCells == paper_cells, f"{name}: {counts.nCells} != paper"
+        level = {40962: 6, 163842: 7, 655362: 8, 2621442: 9}[counts.nCells]
+        rows.append(
+            [
+                name,
+                f"{counts.nCells:,}",
+                f"{counts.nEdges:,}",
+                f"{counts.nVertices:,}",
+                f"{resolution_km(level):.0f} km",
+            ]
+        )
+    table = render_table(
+        "Table III - mesh information list",
+        ["Resolution", "# of Mesh Cells", "# edges", "# vertices", "sqrt(mean area)"],
+        rows,
+    )
+
+    # Really build one member of the family (scaled down by default) and
+    # validate the Figure 1 structure: C-grid with three point types,
+    # hexagon-dominant with exactly 12 pentagons.
+    level = bench_level()
+    mesh = benchmark(Mesh.build, level, 2)
+    mesh.validate()
+    assert mesh.nCells == icosahedral_count(level)
+    assert mesh.nEdges == 3 * mesh.nCells - 6
+    assert mesh.nVertices == 2 * mesh.nCells - 4
+    quality = assess_quality(mesh)
+    assert quality.n_pentagons == 12
+    assert quality.n_other == 0
+    assert quality.area_ratio < 2.0
+
+    built = render_table(
+        f"Really constructed SCVT mesh (level {level})",
+        ["cells", "edges", "vertices", "pentagons", "area ratio", "centroidality"],
+        [
+            [
+                mesh.nCells,
+                mesh.nEdges,
+                mesh.nVertices,
+                quality.n_pentagons,
+                f"{quality.area_ratio:.3f}",
+                f"{quality.centroidality:.2e}",
+            ]
+        ],
+    )
+    report("table3_meshes", table + "\n\n" + built)
+
+    # Mass-point/velocity-point/vorticity-point partition identities.
+    assert np.isclose(np.sum(mesh.areaCell), mesh.sphere_area, rtol=1e-9)
+    assert np.isclose(np.sum(mesh.areaTriangle), mesh.sphere_area, rtol=1e-9)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The Figure 5 workload: zonal flow over an isolated mountain (TC5).
+
+Integrates Williamson test case 5 and renders the day-N total height field
+``h + b`` as an ASCII lon-lat map (the paper plots the same field at day 15),
+then verifies that a summation-order-perturbed run — the stand-in for the
+paper's refactored hybrid implementation — agrees to machine precision.
+
+Usage:  python examples/mountain_wave.py [days=5] [level=3]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.constants import GRAVITY
+from repro.mesh import cached_mesh, rotate_cell_rings
+from repro.swm import ShallowWaterModel, SWConfig, isolated_mountain, suggested_dt
+
+
+def ascii_map(mesh, field, rows: int = 18, cols: int = 64) -> str:
+    """Render a cell field as a coarse lon-lat ASCII contour map."""
+    lon, lat = mesh.metrics.lonCell, mesh.metrics.latCell
+    grid = np.full((rows, cols), np.nan)
+    count = np.zeros((rows, cols))
+    i = ((np.pi / 2 - lat) / np.pi * (rows - 1)).round().astype(int)
+    j = (lon / (2 * np.pi) * (cols - 1)).round().astype(int)
+    acc = np.zeros((rows, cols))
+    for r, c, v in zip(i, j, field):
+        acc[r, c] += v
+        count[r, c] += 1
+    with np.errstate(invalid="ignore"):
+        grid = acc / count
+    lo, hi = np.nanmin(grid), np.nanmax(grid)
+    shades = " .:-=+*#%@"
+    lines = []
+    for r in range(rows):
+        line = []
+        for c in range(cols):
+            v = grid[r, c]
+            if np.isnan(v):
+                line.append(" ")
+            else:
+                k = int((v - lo) / max(hi - lo, 1e-30) * (len(shades) - 1))
+                line.append(shades[k])
+        lines.append("".join(line))
+    lines.append(f"[{lo:.0f} m = ' '  ..  {hi:.0f} m = '@']")
+    return "\n".join(lines)
+
+
+def run(mesh, case, cfg, days):
+    model = ShallowWaterModel(mesh, cfg)
+    model.initialize(case)
+    result = model.run(days=days, invariant_interval=50)
+    return model, result
+
+
+def main(days: float = 5.0, level: int = 3) -> None:
+    mesh = cached_mesh(level)
+    case = isolated_mountain()
+    dt = suggested_dt(mesh, case, GRAVITY, cfl=0.5)
+    cfg = SWConfig(dt=dt)
+    print(
+        f"TC5 (flow over an isolated mountain), {mesh.nCells} cells, "
+        f"dt = {dt:.0f} s, {days:g} days"
+    )
+
+    model, result = run(mesh, case, cfg, days)
+    height = model.total_height()
+    print(f"\nTotal height h + b at day {days:g}:")
+    print(ascii_map(mesh, height))
+
+    print("\nConservation:")
+    print(f"  mass drift   = {result.mass_drift():.2e}")
+    print(f"  energy drift = {result.energy_drift():.2e}")
+
+    # The paper's Figure 5(c): original vs refactored differ only at
+    # round-off.  Ring rotation perturbs every kernel's summation order.
+    rotated_model, _ = run(rotate_cell_rings(mesh, 1), case, cfg, days)
+    diff = np.abs(rotated_model.total_height() - height)
+    print("\nRefactored (summation-order-perturbed) run vs original:")
+    print(f"  max |difference| = {diff.max():.3e} m on fields of ~{height.max():.0f} m")
+    print(f"  max relative     = {diff.max() / np.abs(height).max():.3e}")
+
+
+if __name__ == "__main__":
+    days = float(sys.argv[1]) if len(sys.argv) > 1 else 5.0
+    level = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    main(days, level)

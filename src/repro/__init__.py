@@ -1,0 +1,29 @@
+"""Reproduction of "Pattern-Driven Hybrid Multi- and Many-Core Acceleration
+in the MPAS Shallow-Water Model" (ICPP 2015).
+
+Subpackages
+-----------
+``repro.geometry``
+    Spherical geometry, icosahedral seeds, SCVT (Lloyd) relaxation.
+``repro.mesh``
+    The C-staggered Voronoi mesh substrate with MPAS-style connectivity.
+``repro.swm``
+    The TRiSK shallow-water dynamical core (RK-4, Algorithm 1) and the
+    Williamson test cases.
+``repro.patterns``
+    The eight stencil patterns and six local computations (Fig. 3, Table I).
+``repro.dataflow``
+    The data-flow diagram of the whole model (Fig. 4) and its analysis.
+``repro.reduction``
+    Irregular-reduction refactorings (Algorithms 2-4).
+``repro.machine``
+    Simulated CPU / Xeon Phi hardware and roofline cost models (Table II).
+``repro.hybrid``
+    Kernel-level and pattern-level hybrid schedulers + discrete-event
+    execution timelines (Figs. 2, 4, 6, 7).
+``repro.parallel``
+    Mesh partitioning, halos, functional multi-rank execution and the
+    strong/weak scaling models (Figs. 8, 9).
+"""
+
+__version__ = "1.0.0"

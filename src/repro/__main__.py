@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``mesh``      build (and cache) an SCVT mesh, print its quality report
+``run``       integrate a Williamson test case, print errors/conservation
+``schedule``  show the hybrid schedules and speedups for a mesh size
+``ladder``    print the Figure 6 optimization ladder
+``scaling``   print the Figure 8/9 scaling tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_mesh(args: argparse.Namespace) -> None:
+    from repro.mesh import assess_quality, cached_mesh
+
+    mesh = cached_mesh(args.level, lloyd_iterations=args.lloyd)
+    mesh.validate()
+    print(assess_quality(mesh).summary())
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    from repro.constants import GRAVITY
+    from repro.mesh import cached_mesh
+    from repro.swm import TEST_CASES, ShallowWaterModel, SWConfig, suggested_dt
+
+    if args.case not in TEST_CASES:
+        raise SystemExit(f"unknown test case {args.case}; choose from {sorted(TEST_CASES)}")
+    mesh = cached_mesh(args.level)
+    case = TEST_CASES[args.case]()
+    dt = suggested_dt(mesh, case, GRAVITY, cfl=args.cfl)
+    config = SWConfig(
+        dt=dt,
+        thickness_adv_order=args.order,
+        advection_only=(args.case == 1),
+    )
+    model = ShallowWaterModel(mesh, config)
+    model.initialize(case)
+    days = args.days if args.days is not None else case.suggested_days
+    result = model.run(days=days, invariant_interval=50)
+    print(
+        f"TC{case.number} ({case.name}): {result.steps} steps of {dt:.0f} s "
+        f"on {mesh.nCells} cells"
+    )
+    print(f"  mass drift   = {result.mass_drift():.2e}")
+    print(f"  energy drift = {result.energy_drift():.2e}")
+    if case.exact_thickness is not None:
+        err = model.exact_error()
+        print(f"  l1/l2/linf vs exact = {err.l1:.3e} / {err.l2:.3e} / {err.linf:.3e}")
+
+
+def _cmd_schedule(args: argparse.Namespace) -> None:
+    from repro.hybrid import model_step_times
+    from repro.machine.counts import MeshCounts
+
+    st = model_step_times(MeshCounts(nCells=args.cells))
+    print(f"{args.cells:,} cells, per RK-4 step:")
+    print(f"  serial CPU     : {st.serial:.4f} s")
+    print(f"  kernel-level   : {st.kernel_level:.4f} s ({st.kernel_speedup:.2f}x)")
+    print(f"  pattern-driven : {st.pattern_level:.4f} s ({st.pattern_speedup:.2f}x)")
+
+
+def _cmd_ladder(args: argparse.Namespace) -> None:
+    from repro.machine import ladder_speedups
+    from repro.machine.counts import MeshCounts
+    from repro.patterns import build_catalog
+
+    for name, t, s in ladder_speedups(build_catalog(), MeshCounts(nCells=args.cells)):
+        print(f"  {name:12s} {t * 1e3:10.2f} ms  {s:6.1f}x")
+
+
+def _cmd_scaling(args: argparse.Namespace) -> None:
+    from repro.parallel import strong_scaling, weak_scaling
+
+    print(f"strong scaling, {args.cells:,} cells:")
+    for pt in strong_scaling(args.cells):
+        print(
+            f"  P={pt.n_procs:3d}  cpu {pt.cpu_time:8.4f} s  "
+            f"hybrid {pt.hybrid_time:8.4f} s"
+        )
+    print("weak scaling, 40,962 cells/process:")
+    for pt in weak_scaling():
+        print(
+            f"  P={pt.n_procs:3d}  cpu {pt.cpu_time:8.4f} s  "
+            f"hybrid {pt.hybrid_time:8.4f} s"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pattern-driven hybrid MPAS shallow-water reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("mesh", help="build and report an SCVT mesh")
+    p.add_argument("--level", type=int, default=3)
+    p.add_argument("--lloyd", type=int, default=4)
+    p.set_defaults(func=_cmd_mesh)
+
+    p = sub.add_parser("run", help="integrate a Williamson test case")
+    p.add_argument("--case", type=int, default=2)
+    p.add_argument("--level", type=int, default=3)
+    p.add_argument("--days", type=float, default=None)
+    p.add_argument("--cfl", type=float, default=0.6)
+    p.add_argument("--order", type=int, default=2, choices=(2, 3, 4))
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("schedule", help="hybrid schedule speedups (Fig. 7)")
+    p.add_argument("--cells", type=int, default=655362)
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("ladder", help="Xeon Phi optimization ladder (Fig. 6)")
+    p.add_argument("--cells", type=int, default=655362)
+    p.set_defaults(func=_cmd_ladder)
+
+    p = sub.add_parser("scaling", help="strong/weak scaling (Figs. 8-9)")
+    p.add_argument("--cells", type=int, default=655362)
+    p.set_defaults(func=_cmd_scaling)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,51 @@
+"""The paper's published numbers, for side-by-side reporting.
+
+These values are *only* used to print "paper vs. reproduced" comparisons in
+the benchmark output and EXPERIMENTS.md; nothing in the models reads them.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FIG6_PAPER",
+    "FIG7_PAPER",
+    "TABLE_III_PAPER",
+    "FIG9_PAPER",
+]
+
+#: Figure 6 (approximate bar readings): cumulative speedup on one Xeon Phi
+#: over the serial baseline, 30-km mesh.
+FIG6_PAPER: dict[str, float] = {
+    "Baseline": 1.0,
+    "OpenMP": 18.0,  # "less than 20x"
+    "Refactoring": 62.0,  # "over 60x"
+    "SIMD": 74.0,  # "+ about another 20%"
+    "Streaming": 85.0,
+    "Others": 98.0,  # "nearly 100x"
+}
+
+#: Figure 7: per-step seconds (CPU serial, kernel-level, pattern-driven) and
+#: the quoted speedups.
+FIG7_PAPER: dict[int, tuple[float, float, float]] = {
+    40962: (0.271, 0.059, 0.045),
+    163842: (1.115, 0.198, 0.143),
+    655362: (4.434, 0.741, 0.532),
+    2621442: (17.528, 2.896, 2.102),
+}
+
+#: Table III.
+TABLE_III_PAPER: dict[str, int] = {
+    "120-km": 40_962,
+    "60-km": 163_842,
+    "30-km": 655_362,
+    "15-km": 2_621_442,
+}
+
+#: Figure 9 (weak scaling, ~40,962 cells/process): per-step seconds.
+FIG9_PAPER: dict[int, tuple[float, float]] = {
+    # procs: (cpu, hybrid)
+    1: (0.271, 0.045),
+    4: (0.272, 0.046),
+    16: (0.274, 0.046),
+    64: (0.273, 0.047),
+}

@@ -1,0 +1,28 @@
+"""Physical and numerical constants shared across the reproduction.
+
+Values follow the MPAS shallow-water core defaults (which in turn follow
+Williamson et al. 1992, "A standard test set for numerical approximations to
+the shallow water equations in spherical geometry").
+"""
+
+from __future__ import annotations
+
+#: Earth radius used by MPAS (metres).
+EARTH_RADIUS: float = 6_371_220.0
+
+#: Gravitational acceleration (m s^-2), Williamson et al. value.
+GRAVITY: float = 9.80616
+
+#: Earth angular velocity (rad s^-1).
+OMEGA: float = 7.292e-5
+
+#: Seconds per day.
+SECONDS_PER_DAY: float = 86_400.0
+
+#: Default APVM (anticipated potential vorticity method) upwinding factor,
+#: matching MPAS ``config_apvm_upwinding``.
+APVM_UPWINDING: float = 0.5
+
+#: Tolerance used when validating geometric identities (areas, partitions of
+#: unity).  Spherical polygon areas accumulate O(n * eps) error.
+GEOM_RTOL: float = 1e-10

@@ -1,0 +1,107 @@
+"""Dependency and concurrency analysis of the data-flow diagram.
+
+These are the queries Section III-B uses the diagram for: recognizing data
+dependencies, measuring inherent parallelism (how many patterns can run at
+once — the red numbers of Figure 4), and bounding any schedule from below by
+the critical path.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .graph import DataFlowGraph
+
+__all__ = [
+    "topological_levels",
+    "concurrency_profile",
+    "critical_path",
+    "total_work",
+    "independent_sets",
+]
+
+
+def topological_levels(dfg: DataFlowGraph) -> dict[str, int]:
+    """ASAP level of every compute/halo node (sources at level -1).
+
+    A node's level is one more than the maximum level of its non-source
+    predecessors; nodes on the same level are mutually independent *given*
+    that all previous levels completed.
+    """
+    levels: dict[str, int] = {}
+    for node in nx.topological_sort(dfg.graph):
+        data = dfg.graph.nodes[node]
+        if data["kind"] == "source":
+            levels[node] = -1
+            continue
+        preds = dfg.predecessors_compute(node)
+        levels[node] = 0 if not preds else 1 + max(levels[p] for p in preds)
+    return levels
+
+
+def concurrency_profile(dfg: DataFlowGraph) -> dict[int, list[str]]:
+    """Compute nodes grouped by ASAP level — the parallelism profile."""
+    levels = topological_levels(dfg)
+    profile: dict[int, list[str]] = {}
+    for node in dfg.compute_nodes():
+        profile.setdefault(levels[node], []).append(node)
+    return dict(sorted(profile.items()))
+
+
+def critical_path(
+    dfg: DataFlowGraph, cost: "dict[str, float] | None" = None
+) -> tuple[float, list[str]]:
+    """Longest weighted path over compute/halo nodes.
+
+    Without ``cost``, every compute/halo node counts 1 (pure depth).  With a
+    ``cost`` mapping, nodes absent from it count 0 (e.g. halo nodes when only
+    compute costs are supplied).  Returns (length, node list).  This is the
+    lower bound no hybrid schedule can beat.
+    """
+
+    def node_cost(n: str) -> float:
+        if dfg.graph.nodes[n]["kind"] == "source":
+            return 0.0
+        if cost is None:
+            return 1.0
+        return cost.get(n, 0.0)
+
+    dist: dict[str, float] = {}
+    best_pred: dict[str, str | None] = {}
+    for node in nx.topological_sort(dfg.graph):
+        preds = list(dfg.graph.predecessors(node))
+        if preds:
+            p = max(preds, key=lambda q: dist[q])
+            dist[node] = dist[p] + node_cost(node)
+            best_pred[node] = p
+        else:
+            dist[node] = node_cost(node)
+            best_pred[node] = None
+    end = max(dist, key=lambda n: dist[n])
+    path = []
+    cur: str | None = end
+    while cur is not None:
+        if dfg.graph.nodes[cur]["kind"] != "source":
+            path.append(cur)
+        cur = best_pred[cur]
+    return dist[end], path[::-1]
+
+
+def total_work(dfg: DataFlowGraph, cost: dict[str, float]) -> float:
+    """Sum of node costs — the serial execution time of the diagram."""
+    return sum(cost.get(n, 0.0) for n in dfg.compute_nodes())
+
+
+def independent_sets(dfg: DataFlowGraph, nodes: list[str]) -> bool:
+    """True when no node in ``nodes`` depends (transitively) on another.
+
+    Used to check that a scheduler only co-schedules genuinely concurrent
+    patterns (the paper's "kernels that are independent with each other can
+    be launched concurrently").
+    """
+    node_set = set(nodes)
+    for n in nodes:
+        reachable = nx.descendants(dfg.graph, n)
+        if reachable & node_set:
+            return False
+    return True

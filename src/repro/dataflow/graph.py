@@ -1,0 +1,167 @@
+"""The data-flow diagram: pattern instances wired by variable dependencies.
+
+Section III-B: "the identified patterns are used as building blocks to
+compose a data-flow diagram ... organized like a circuit diagram, with the
+data flow being the electric current and the computation patterns being the
+circuit components".  Here the diagram is a :class:`networkx.DiGraph` whose
+nodes are pattern-instance occurrences and whose edges carry the variable
+that flows between them.
+
+Construction follows program order (Algorithm 1 kernel order, catalog order
+within a kernel): a read links to the *most recent* producer of that
+variable, earlier reads of stage inputs link to synthetic source nodes.
+Write-after-read hazards do not appear because the implementation
+double-buffers the prognostic arrays (``state`` vs ``acc`` in
+:mod:`repro.swm.timestep`), as the paper's Fortran does with time levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..patterns.catalog import PatternInstance
+
+__all__ = ["DataFlowGraph", "HALO_NODE_PREFIX", "SOURCE_PREFIX"]
+
+SOURCE_PREFIX = "in:"
+HALO_NODE_PREFIX = "halo:"
+
+
+@dataclass
+class DataFlowGraph:
+    """A DAG of pattern instances plus synthetic source / halo nodes.
+
+    Attributes
+    ----------
+    graph : networkx.DiGraph
+        Node names are instance occurrence ids (e.g. ``"s1:B1"``), source
+        names (``"in:h"``) or halo-exchange names (``"halo:provis_u@s2"``).
+        Compute nodes carry their :class:`PatternInstance` in the
+        ``instance`` attribute; edges carry ``variable``.
+    order : list of str
+        Compute nodes in program order.
+    """
+
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+    order: list[str] = field(default_factory=list)
+    _producers: dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- building
+    def add_source(self, variable: str) -> str:
+        """Declare a stage-input variable (available before the stage runs)."""
+        node = f"{SOURCE_PREFIX}{variable}"
+        if node not in self.graph:
+            self.graph.add_node(node, kind="source", variable=variable)
+        self._producers[variable] = node
+        return node
+
+    def add_halo_exchange(self, name: str, variables: tuple[str, ...]) -> str:
+        """Insert a halo-exchange synchronization on the given variables.
+
+        The exchange consumes the current producers of ``variables`` and
+        becomes their new producer — everything reading them afterwards
+        depends on the exchange, exactly like the red-arrow nodes of Fig. 4.
+        """
+        node = f"{HALO_NODE_PREFIX}{name}"
+        self.graph.add_node(node, kind="halo", variables=variables)
+        for var in variables:
+            producer = self._producers.get(var)
+            if producer is None:
+                producer = self.add_source(var)
+            self.graph.add_edge(producer, node, variable=var)
+            self._producers[var] = node
+        return node
+
+    def add_instance(self, occurrence: str, instance: PatternInstance) -> str:
+        """Append a pattern instance in program order, wiring its reads."""
+        if occurrence in self.graph:
+            raise ValueError(f"duplicate occurrence id {occurrence}")
+        self.graph.add_node(occurrence, kind="compute", instance=instance)
+        self.order.append(occurrence)
+        for var in instance.inputs:
+            producer = self._producers.get(var)
+            if producer is None:
+                producer = self.add_source(var)
+            # Self-update (e.g. X1 reading tend_u it will overwrite) wires to
+            # the previous producer, which the dict still holds at this point.
+            self.graph.add_edge(producer, occurrence, variable=var)
+        for var in instance.outputs:
+            self._producers[var] = occurrence
+        return occurrence
+
+    # -------------------------------------------------------------- queries
+    def compute_nodes(self) -> list[str]:
+        return [n for n, d in self.graph.nodes(data=True) if d["kind"] == "compute"]
+
+    def halo_nodes(self) -> list[str]:
+        return [n for n, d in self.graph.nodes(data=True) if d["kind"] == "halo"]
+
+    def instance(self, node: str) -> PatternInstance:
+        data = self.graph.nodes[node]
+        if data["kind"] != "compute":
+            raise KeyError(f"{node} is not a compute node")
+        return data["instance"]
+
+    def producer_of(self, variable: str) -> str | None:
+        """Final producer of a variable after the whole graph ran."""
+        return self._producers.get(variable)
+
+    def validate(self) -> None:
+        """The diagram must be acyclic (it encodes one pass of Algorithm 1)."""
+        if not nx.is_directed_acyclic_graph(self.graph):
+            cycle = nx.find_cycle(self.graph)
+            raise ValueError(f"data-flow diagram has a cycle: {cycle}")
+
+    def predecessors_compute(self, node: str) -> list[str]:
+        """Compute/halo predecessors (skipping source nodes)."""
+        return [
+            p
+            for p in self.graph.predecessors(node)
+            if self.graph.nodes[p]["kind"] != "source"
+        ]
+
+    def to_dot(self, include_sources: bool = False) -> str:
+        """Render the diagram as Graphviz DOT (the Figure 4 artwork).
+
+        Compute nodes are boxes labelled with the pattern id and clustered
+        by kernel occurrence; halo exchanges are red octagons; edges carry
+        the flowing variable.  Feed the output to ``dot -Tsvg`` to regenerate
+        a Figure 4-style picture.
+        """
+        lines = [
+            "digraph dataflow {",
+            "  rankdir=TB;",
+            '  node [fontname="Helvetica", fontsize=10];',
+        ]
+        clusters: dict[str, list[str]] = {}
+        for node in self.compute_nodes():
+            inst = self.instance(node)
+            stage = node.split(":", 1)[0] if ":" in node else ""
+            clusters.setdefault(f"{stage}:{inst.kernel}", []).append(node)
+        for ci, (label, nodes) in enumerate(clusters.items()):
+            lines.append(f"  subgraph cluster_{ci} {{")
+            lines.append(f'    label="{label}"; style=rounded; color=gray;')
+            for node in nodes:
+                inst = self.instance(node)
+                shape = "box" if inst.is_local else "ellipse"
+                lines.append(
+                    f'    "{node}" [label="{inst.label}", shape={shape}];'
+                )
+            lines.append("  }")
+        for node in self.halo_nodes():
+            lines.append(
+                f'  "{node}" [label="Exchange halo", shape=octagon, color=red];'
+            )
+        if include_sources:
+            for n, d in self.graph.nodes(data=True):
+                if d["kind"] == "source":
+                    lines.append(f'  "{n}" [label="{d["variable"]}", shape=plaintext];')
+        for a, b, data in self.graph.edges(data=True):
+            if not include_sources and self.graph.nodes[a]["kind"] == "source":
+                continue
+            var = data.get("variable", "")
+            lines.append(f'  "{a}" -> "{b}" [label="{var}", fontsize=8];')
+        lines.append("}")
+        return "\n".join(lines)

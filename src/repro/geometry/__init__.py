@@ -1,0 +1,59 @@
+"""Spherical geometry substrate: primitives, geodesic seeds, SCVT relaxation."""
+
+from .sphere import (
+    arc_length,
+    arc_midpoint,
+    chord_length,
+    is_ccw,
+    lonlat_to_xyz,
+    normalize,
+    polygon_centroid,
+    rotate,
+    rotation_matrix,
+    spherical_polygon_area,
+    spherical_triangle_area,
+    tangent_basis,
+    tangent_plane_coords,
+    xyz_to_lonlat,
+)
+from .icosahedron import (
+    base_icosahedron,
+    icosahedral_count,
+    icosahedral_points,
+    resolution_km,
+    subdivision_level_for,
+)
+from .cvt import LloydResult, centroidality_residual, lloyd_relax
+from .density import (
+    DensityFunction,
+    radial_refinement,
+    weighted_lloyd_relax,
+)
+
+__all__ = [
+    "arc_length",
+    "arc_midpoint",
+    "chord_length",
+    "is_ccw",
+    "lonlat_to_xyz",
+    "normalize",
+    "polygon_centroid",
+    "rotate",
+    "rotation_matrix",
+    "spherical_polygon_area",
+    "spherical_triangle_area",
+    "tangent_basis",
+    "tangent_plane_coords",
+    "xyz_to_lonlat",
+    "base_icosahedron",
+    "icosahedral_count",
+    "icosahedral_points",
+    "resolution_km",
+    "subdivision_level_for",
+    "LloydResult",
+    "DensityFunction",
+    "radial_refinement",
+    "weighted_lloyd_relax",
+    "centroidality_residual",
+    "lloyd_relax",
+]

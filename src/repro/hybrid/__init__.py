@@ -1,0 +1,41 @@
+"""Hybrid CPU+accelerator scheduling and simulated execution (Figs. 2, 4, 7)."""
+
+from .autotune import TuneResult, tune_split_fraction
+from .executor import DEVICES, Assignment, HybridExecutor, Placement, Task, Timeline
+from .predictor import predict_makespan
+from .schedule import (
+    cpu_only_assignment,
+    kernel_level_assignment,
+    node_times,
+    pattern_level_assignment,
+)
+from .stepmodel import (
+    LocalProblem,
+    StepTimes,
+    decompose,
+    hybrid_step_time,
+    model_step_times,
+    serial_step_time,
+)
+
+__all__ = [
+    "TuneResult",
+    "tune_split_fraction",
+    "predict_makespan",
+    "DEVICES",
+    "Assignment",
+    "HybridExecutor",
+    "Placement",
+    "Task",
+    "Timeline",
+    "cpu_only_assignment",
+    "kernel_level_assignment",
+    "node_times",
+    "pattern_level_assignment",
+    "LocalProblem",
+    "StepTimes",
+    "decompose",
+    "hybrid_step_time",
+    "model_step_times",
+    "serial_step_time",
+]

@@ -1,0 +1,69 @@
+"""Split-fraction autotuning — the "adaptively controlled" boxes of Fig. 4b.
+
+Section III-C: in the pattern-driven design some operations "can be
+adaptively controlled according to the configuration of the heterogeneous
+system, so that the load balance is improved".  This module performs that
+adaptation explicitly: it searches the global CPU share of the splittable
+patterns against the discrete-event executor and returns the best fraction
+found — which is how a production code would calibrate itself on an unknown
+host/device combination at start-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dataflow.graph import DataFlowGraph
+from .executor import HybridExecutor, Placement
+from .schedule import balanced_fraction
+
+__all__ = ["TuneResult", "tune_split_fraction"]
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of a split-fraction search."""
+
+    fraction: float
+    makespan: float
+    evaluations: int
+    history: tuple[tuple[float, float], ...]  # (fraction, makespan) pairs
+
+
+def tune_split_fraction(
+    dfg: DataFlowGraph,
+    times: dict[str, dict[str, float]],
+    executor: HybridExecutor,
+    candidates: int = 9,
+) -> TuneResult:
+    """Scan CPU fractions around the work-balanced point and pick the best.
+
+    A coarse grid (``candidates`` points spanning [0.05, 0.95]) plus the
+    analytic :func:`~repro.hybrid.schedule.balanced_fraction` seed is
+    evaluated against the executor; the argmin wins.  The makespan landscape
+    is piecewise smooth in the fraction, so a grid is robust where
+    derivative-based search is not.
+    """
+    from .schedule import pattern_level_assignment
+
+    seeds = [balanced_fraction(dfg, times)]
+    seeds += [0.05 + 0.9 * k / (candidates - 1) for k in range(candidates)]
+    history = []
+    best = None
+    for f in seeds:
+        assignment = pattern_level_assignment(dfg, times, min_split_gain=0.0)
+        # Override every split with the candidate fraction.
+        assignment = {
+            n: (Placement("split", cpu_fraction=f) if p.device == "split" else p)
+            for n, p in assignment.items()
+        }
+        makespan = executor.run(assignment).makespan
+        history.append((f, makespan))
+        if best is None or makespan < best[1]:
+            best = (f, makespan)
+    return TuneResult(
+        fraction=best[0],
+        makespan=best[1],
+        evaluations=len(history),
+        history=tuple(history),
+    )

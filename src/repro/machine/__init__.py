@@ -1,0 +1,44 @@
+"""Simulated hardware substrate: Table II specs, cost models, interconnects."""
+
+from .cost import SCATTER_PRONE_KINDS, CostModel, ExecutionProfile
+from .counts import TABLE_III_MESHES, MeshCounts
+from .interconnect import HaloExchangeModel, TransferModel
+from .memory import MemoryFootprint, model_footprint
+from .optimizations import (
+    LadderRung,
+    cpu_profiles,
+    ladder_speedups,
+    mic_optimization_ladder,
+)
+from .spec import (
+    PAPER_CLUSTER,
+    PAPER_NODE,
+    XEON_E5_2680V2,
+    XEON_PHI_5110P,
+    ClusterSpec,
+    DeviceSpec,
+    NodeSpec,
+)
+
+__all__ = [
+    "SCATTER_PRONE_KINDS",
+    "CostModel",
+    "ExecutionProfile",
+    "TABLE_III_MESHES",
+    "MeshCounts",
+    "HaloExchangeModel",
+    "MemoryFootprint",
+    "model_footprint",
+    "TransferModel",
+    "LadderRung",
+    "cpu_profiles",
+    "ladder_speedups",
+    "mic_optimization_ladder",
+    "PAPER_CLUSTER",
+    "PAPER_NODE",
+    "XEON_E5_2680V2",
+    "XEON_PHI_5110P",
+    "ClusterSpec",
+    "DeviceSpec",
+    "NodeSpec",
+]

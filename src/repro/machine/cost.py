@@ -1,0 +1,175 @@
+"""Roofline-style cost model for pattern instances on simulated devices.
+
+Why a model: the paper's performance results require a 60-core Xeon Phi and a
+10-core Xeon; neither is available here (see DESIGN.md).  The model predicts
+the execution time of one pattern instance from
+
+* the instance's operation/traffic counts (``flops_per_point``,
+  ``f64_per_point``, ``i32_per_point`` — derived from the kernel code),
+* the device's peak capabilities (Table II), and
+* an :class:`ExecutionProfile` describing *how* the code uses the device —
+  thread count, vectorization, whether race-prone scatter loops were
+  refactored into gathers (Algorithms 2-3), streaming stores, prefetching.
+
+All stencil kernels of this model are strongly memory-bound (arithmetic
+intensity ~0.15 flop/byte), so times are dominated by the *effective
+bandwidth* term: sustained stream bandwidth derated by a gather efficiency
+that reflects the irregular, index-driven access of unstructured meshes.
+The derating factors are the calibration constants of the reproduction;
+they are hardware-motivated (published STREAM vs. random-gather measurements
+for Ivy Bridge and Knights Corner), not fitted to the paper's result figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..patterns.catalog import PatternInstance
+from ..patterns.pattern import PatternKind
+from .spec import DeviceSpec
+
+__all__ = ["ExecutionProfile", "CostModel", "SCATTER_PRONE_KINDS"]
+
+#: Stencils whose natural MPAS loop order scatters into a coarser point set
+#: (the Algorithm 2 shape): cell-from-edge, cell-from-vertex and
+#: vertex-from-edge accumulations.  Under naive OpenMP these need atomics.
+SCATTER_PRONE_KINDS = frozenset({PatternKind.A, PatternKind.F, PatternKind.H})
+
+
+@dataclass(frozen=True)
+class ExecutionProfile:
+    """How the code exercises a device (one rung of the Figure 6 ladder).
+
+    Attributes
+    ----------
+    threads : int
+        Active OpenMP threads (1 = the serial baseline).
+    vectorized : bool
+        Manual SIMD directives in effect.
+    refactored : bool
+        Regularity-aware loop refactoring applied (Algorithm 3): scatter
+        loops became race-free gathers.
+    streaming_stores : bool
+        Non-temporal stores relieve write-allocate traffic.
+    tuned : bool
+        The "others" rung: software prefetch, 2 MB pages, fused loops
+        (modelled as a latency-hiding bandwidth boost plus one parallel
+        region per kernel instead of one per pattern).
+    atomic_parallelism : float
+        Effective parallelism of race-prone scatter loops under naive
+        multithreading (atomics serialize most of the accumulation).
+    ramp_points_per_thread : float
+        Work items each thread needs in flight before the memory system
+        saturates; below ``threads * ramp`` points a device runs latency-
+        bound.  This is why a 240-thread Xeon Phi loses efficiency on the
+        small per-process meshes of the strong-scaling study (Fig. 8a).
+    """
+
+    threads: int = 1
+    vectorized: bool = False
+    refactored: bool = True
+    streaming_stores: bool = False
+    tuned: bool = False
+    atomic_parallelism: float = 4.0
+    ramp_points_per_thread: float = 150.0
+
+    def with_(self, **kw) -> "ExecutionProfile":
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Predicts pattern-instance times on one device under one profile."""
+
+    device: DeviceSpec
+    profile: ExecutionProfile
+
+    # ------------------------------------------------------------- throughput
+    def effective_gflops(self) -> float:
+        """Achievable GFLOP/s (compute roof) for stencil code."""
+        d, p = self.device, self.profile
+        cores_used = min(p.threads, d.max_threads)
+        # Hyper-threads share core pipelines: count cores, plus a modest
+        # boost for in-order machines that need them to cover latency.
+        physical = min(cores_used, d.cores)
+        per_core = (
+            d.flops_per_cycle_per_core if p.vectorized else d.scalar_flops_per_cycle
+        )
+        # Irregular code never sustains peak issue width; 60% is generous.
+        return 0.6 * physical * d.frequency_ghz * per_core
+
+    def effective_bandwidth(self) -> float:
+        """Achievable GB/s for the irregular gather/scatter traffic."""
+        d, p = self.device, self.profile
+        threads = min(p.threads, d.max_threads)
+        # Bandwidth saturates once enough threads are in flight; below that
+        # it is latency-bound at single-thread rates.
+        latency_bound = threads * d.single_thread_gather_bw_gbs
+        bw = min(d.gather_bw_gbs, latency_bound)
+        boost = 1.0
+        if p.streaming_stores:
+            # Stores stop read-for-ownership traffic (~25% of the mix).
+            boost *= 1.12
+        if p.tuned:
+            # Prefetch + large pages hide TLB/latency stalls.
+            boost *= 1.25
+        if p.vectorized:
+            # vgather/vscatter help marginally; the paper measured ~ +20%
+            # once everything else was applied.
+            boost *= 1.18
+        return bw * boost
+
+    # ------------------------------------------------------------------ time
+    def region_overhead_s(self) -> float:
+        """Parallel-region launch overhead per pattern."""
+        d, p = self.device, self.profile
+        if p.threads <= 1:
+            return 0.0
+        overhead = d.parallel_region_overhead_us * 1e-6
+        if p.tuned:
+            # One region per kernel (several fused patterns) instead of one
+            # region per pattern.
+            overhead /= 4.0
+        return overhead
+
+    def instance_time(self, inst: PatternInstance, n_points: int) -> float:
+        """Seconds to execute ``inst`` over ``n_points`` output points."""
+        if n_points <= 0:
+            return 0.0
+        flops = inst.flops_per_point * n_points
+        bytes_per_point = 8.0 * inst.f64_per_point + 4.0 * inst.i32_per_point
+        bytes_moved = bytes_per_point * n_points
+        t_flops = flops / (self.effective_gflops() * 1e9)
+        # Saturation ramp: the first ~threads*ramp points run latency-bound,
+        # which behaves like extra traffic proportional to the thread count.
+        p = self.profile
+        threads = min(p.threads, self.device.max_threads)
+        ramp_points = (threads - 1) * p.ramp_points_per_thread if threads > 1 else 0.0
+        t_bytes = (bytes_moved + ramp_points * bytes_per_point) / (
+            self.effective_bandwidth() * 1e9
+        )
+        t = max(t_flops, t_bytes)
+        if (
+            not p.refactored
+            and p.threads > 1
+            and inst.kind in SCATTER_PRONE_KINDS
+        ):
+            # Naive OpenMP on an Algorithm 2 loop: atomic updates serialize
+            # the accumulation down to a few threads' worth of throughput.
+            atomic_bw = (
+                self.device.single_thread_gather_bw_gbs * p.atomic_parallelism
+            )
+            t = max(t, bytes_moved / (atomic_bw * 1e9))
+        return t + self.region_overhead_s()
+
+    def step_time(self, catalog: list[PatternInstance], mesh_counts) -> float:
+        """Serial-on-this-device time of one RK *stage* of the catalog.
+
+        ``mesh_counts`` is any object with ``nCells``/``nEdges``/``nVertices``
+        attributes (a real :class:`~repro.mesh.mesh.Mesh` or the synthetic
+        counts used for the paper's large meshes).
+        """
+        return sum(
+            self.instance_time(inst, inst.output_point.count(mesh_counts))
+            for inst in catalog
+        )

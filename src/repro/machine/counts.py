@@ -1,0 +1,43 @@
+"""Synthetic mesh-size descriptors for the cost model.
+
+The 30-km and 15-km meshes of Table III (655,362 and 2,621,442 cells) are too
+large to *build* cheaply in pure Python, but their point counts are exact
+functions of the cell count on a closed trivalent sphere mesh
+(Euler: ``V - E + F = 2`` with ``E = 3F - 6``, ``V = 2F - 4``), which is all
+the performance model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MeshCounts", "TABLE_III_MESHES"]
+
+
+@dataclass(frozen=True)
+class MeshCounts:
+    """Point counts of a (possibly hypothetical) SCVT mesh."""
+
+    nCells: int
+    name: str = ""
+
+    @property
+    def nEdges(self) -> int:
+        return 3 * self.nCells - 6
+
+    @property
+    def nVertices(self) -> int:
+        return 2 * self.nCells - 4
+
+    @classmethod
+    def from_level(cls, level: int, name: str = "") -> "MeshCounts":
+        return cls(nCells=10 * 4**level + 2, name=name)
+
+
+#: The Table III mesh family: resolution -> counts.
+TABLE_III_MESHES: dict[str, MeshCounts] = {
+    "120-km": MeshCounts.from_level(6, "120-km"),
+    "60-km": MeshCounts.from_level(7, "60-km"),
+    "30-km": MeshCounts.from_level(8, "30-km"),
+    "15-km": MeshCounts.from_level(9, "15-km"),
+}

@@ -1,0 +1,97 @@
+"""Device memory footprint of the model (the Section IV-A sizing argument).
+
+The paper: "in our largest test case (15km), all the data needed to be
+offloaded to MIC is about 5.3GB, which is not beyond the local memory of the
+MIC device" — which is what makes the keep-everything-resident transfer
+policy possible, cutting average per-step transfers "by at least a factor
+of 4x" on the 30-km mesh.
+
+This module prices the resident data from the actual array inventory of the
+implementation (MPAS-style: 4-byte connectivity, 8-byte reals), so the
+paper's two claims can be checked quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..swm.config import SWConfig
+
+__all__ = ["MemoryFootprint", "model_footprint"]
+
+_I4 = 4.0
+_F8 = 8.0
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Bytes of device-resident data, split by category."""
+
+    mesh_bytes: float  # connectivity + metrics (never change)
+    state_bytes: float  # prognostic + provisional + accumulator
+    diagnostic_bytes: float  # everything compute_solve_diagnostics produces
+    work_bytes: float  # tendencies + reconstruction buffers
+
+    @property
+    def total_bytes(self) -> float:
+        return self.mesh_bytes + self.state_bytes + self.diagnostic_bytes + self.work_bytes
+
+    @property
+    def total_gb(self) -> float:
+        return self.total_bytes / 1e9
+
+    def fits(self, device_memory_gb: float) -> bool:
+        return self.total_gb <= device_memory_gb
+
+
+def model_footprint(counts, config: SWConfig | None = None, max_edges: int = 6) -> MemoryFootprint:
+    """Price the resident arrays for a mesh of the given point counts."""
+    n_c, n_e, n_v = counts.nCells, counts.nEdges, counts.nVertices
+    me = max_edges
+    eoe_width = 2 * me - 2
+
+    # --------------------------------------------------------- mesh (static)
+    mesh = 0.0
+    # connectivity (int32)
+    mesh += _I4 * n_c * (1 + 3 * me)  # nEdgesOnCell + edges/vertices/cellsOnCell
+    mesh += _I4 * n_e * 4  # cellsOnEdge + verticesOnEdge
+    mesh += _I4 * n_v * 6  # cellsOnVertex + edgesOnVertex
+    mesh += _I4 * n_e * eoe_width  # edgesOnEdge
+    # metric reals (float64)
+    mesh += _F8 * n_c * (3 + 1 + 2)  # xCell, areaCell, lat/lon
+    mesh += _F8 * n_e * (3 + 2 + 2 + 1)  # xEdge, dc/dv, lat/lon, angleEdge
+    mesh += _F8 * n_v * (3 + 1 + 3)  # xVertex, areaTriangle, kiteAreas
+    mesh += _F8 * n_e * eoe_width  # weightsOnEdge
+    mesh += _F8 * n_c * me  # edgeSignOnCell
+    mesh += _F8 * n_v * 3  # edgeSignOnVertex
+    if config is not None and config.thickness_adv_order >= 3:
+        # deriv_two stencils: (nEdges, 2, me+1) indices + weights.
+        mesh += (me + 1) * 2 * n_e * (_I4 + _F8)
+    # reconstruction matrices: (nCells, 3, me).
+    mesh += _F8 * n_c * 3 * me
+
+    # --------------------------------------------------------------- state
+    # h/u x (state, provis, accumulator) + b + f.
+    state = _F8 * (3 * (n_c + n_e) + n_c + n_v)
+
+    # ---------------------------------------------------------- diagnostics
+    diag = _F8 * (
+        n_e  # h_edge
+        + n_c  # ke
+        + n_v  # vorticity
+        + n_c  # divergence
+        + n_e  # v
+        + n_v * 2  # h_vertex, pv_vertex
+        + n_c  # pv_cell
+        + n_e  # pv_edge
+    )
+    if config is not None and config.thickness_adv_order >= 3:
+        diag += _F8 * 2 * n_c  # d2fdx2_cell1/2
+
+    # ------------------------------------------------------------- work
+    work = _F8 * (n_c + n_e)  # tendencies
+    work += _F8 * 5 * n_c  # uReconstruct X/Y/Z/zonal/meridional
+
+    return MemoryFootprint(
+        mesh_bytes=mesh, state_bytes=state, diagnostic_bytes=diag, work_bytes=work
+    )

@@ -1,0 +1,171 @@
+"""Hardware specifications of the test platform (Table II).
+
+The paper's cluster: 32 nodes on 56 Gb FDR InfiniBand, each node with two
+Intel Xeon E5-2680 v2 CPUs and two Intel Xeon Phi 5110P coprocessors; each
+MPI process is assigned one 10-core CPU grouped with one Xeon Phi.
+
+These dataclasses carry the published specifications plus the handful of
+*effective-throughput* parameters the cost model needs (sustained stream
+bandwidth, per-core scalar issue rates, parallel-region overheads).  The
+effective numbers are justified in :mod:`repro.machine.cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DeviceSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "XEON_E5_2680V2",
+    "XEON_PHI_5110P",
+    "PAPER_NODE",
+    "PAPER_CLUSTER",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One processor (CPU socket or accelerator card)."""
+
+    name: str
+    cores: int
+    threads_per_core: int
+    frequency_ghz: float
+    simd_width_dp: int  # doubles per SIMD lane group
+    flops_per_cycle_per_core: float  # peak DP flops/cycle/core (SIMD incl.)
+    scalar_flops_per_cycle: float  # without SIMD
+    l1_kb: int
+    l2_kb: int
+    l3_mb: float  # 0 when absent (Xeon Phi)
+    memory_gb: float
+    stream_bw_gbs: float  # sustained stream (triad-like) bandwidth
+    single_thread_bw_gbs: float  # one thread, contiguous, latency-bound
+    #: Effective bandwidth of irregular index-driven access (the unstructured
+    #: mesh gathers/scatters that dominate this model), chip-saturated and
+    #: single-thread.  These are the model's key calibration constants; they
+    #: follow published random-gather measurements: out-of-order Xeons retain
+    #: ~20-25% of stream bandwidth, in-order Knights Corner roughly 4-5%, and
+    #: a single in-order thread is latency-bound near 0.1 GB/s.
+    gather_bw_gbs: float = 0.0
+    single_thread_gather_bw_gbs: float = 0.0
+    parallel_region_overhead_us: float = 3.0  # OpenMP fork/join + barrier
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak double-precision GFLOP/s (the Table II row)."""
+        return self.cores * self.frequency_ghz * self.flops_per_cycle_per_core
+
+    @property
+    def max_threads(self) -> int:
+        return self.cores * self.threads_per_core
+
+    def table_row(self) -> dict[str, str]:
+        """Row of Table II for this device."""
+        return {
+            "Frequency": f"{self.frequency_ghz:.1f}GHz",
+            "Cores/Threads": f"{self.cores} / {self.max_threads}",
+            "SIMD width": f"{self.simd_width_dp} double",
+            "Gflops in D.P.": f"{self.peak_gflops:.1f}",
+            "L1/L2/L3 cache": (
+                f"{self.l1_kb}KB / {self.l2_kb}KB / "
+                + (f"{self.l3_mb:.0f}MB" if self.l3_mb else "-")
+            ),
+            "Memory capacity": f"{self.memory_gb:g}GB",
+        }
+
+
+#: Intel Xeon E5-2680 v2 ("Ivy Bridge EP"): 10 cores @ 2.8 GHz, AVX
+#: (4-double add + 4-double mul per cycle -> 8 flops/cycle/core, 224 GF),
+#: 4-channel DDR3-1866 (~59.7 GB/s peak, ~45 sustained).
+XEON_E5_2680V2 = DeviceSpec(
+    name="Intel Xeon E5-2680 V2",
+    cores=10,
+    threads_per_core=1,
+    frequency_ghz=2.8,
+    simd_width_dp=4,
+    flops_per_cycle_per_core=8.0,
+    scalar_flops_per_cycle=2.0,
+    l1_kb=32,
+    l2_kb=256,
+    l3_mb=25.0,
+    memory_gb=32.0,
+    stream_bw_gbs=45.0,
+    single_thread_bw_gbs=11.0,
+    gather_bw_gbs=6.5,
+    single_thread_gather_bw_gbs=2.42,
+    parallel_region_overhead_us=3.0,
+)
+
+#: Intel Xeon Phi 5110P ("Knights Corner"): 60 in-order cores @ 1.053 GHz,
+#: 512-bit IMCI FMA (16 flops/cycle/core, ~1011 GF), GDDR5 (~320 GB/s peak,
+#: ~160 sustained stream; far less under irregular access), no L3, one core
+#: reserved for the offload engine in the paper's runs.
+XEON_PHI_5110P = DeviceSpec(
+    name="Intel Xeon Phi 5110P",
+    cores=60,
+    threads_per_core=4,
+    frequency_ghz=1.1,
+    simd_width_dp=8,
+    flops_per_cycle_per_core=16.0,
+    scalar_flops_per_cycle=0.5,  # in-order, no out-of-order latency hiding
+    l1_kb=32,
+    l2_kb=512,
+    l3_mb=0.0,
+    memory_gb=7.8,
+    stream_bw_gbs=160.0,
+    single_thread_bw_gbs=0.55,
+    gather_bw_gbs=10.5,
+    single_thread_gather_bw_gbs=0.175,
+    parallel_region_overhead_us=20.0,
+)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One MPI process' resources: a CPU socket grouped with an accelerator."""
+
+    cpu: DeviceSpec
+    accelerator: DeviceSpec
+    pcie_bw_gbs: float  # host <-> device, per direction
+    pcie_latency_us: float
+
+    def devices(self) -> dict[str, DeviceSpec]:
+        return {"cpu": self.cpu, "mic": self.accelerator}
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The multi-node machine of Table II."""
+
+    node: NodeSpec
+    n_nodes: int
+    processes_per_node: int
+    network_bw_gbs: float  # per-link effective MPI bandwidth
+    network_latency_us: float
+
+    @property
+    def max_processes(self) -> int:
+        return self.n_nodes * self.processes_per_node
+
+
+#: The paper's per-process grouping: one 10-core CPU + one Xeon Phi, PCIe 2.0
+#: x16 (~6 GB/s effective).
+PAPER_NODE = NodeSpec(
+    cpu=XEON_E5_2680V2,
+    accelerator=XEON_PHI_5110P,
+    pcie_bw_gbs=6.0,
+    pcie_latency_us=10.0,
+)
+
+#: 32 nodes x 2 groups each = up to 64 MPI processes, FDR InfiniBand
+#: (56 Gb/s line rate, ~5.5 GB/s effective MPI bandwidth, ~2 us + software
+#: overhead latency).
+PAPER_CLUSTER = ClusterSpec(
+    node=PAPER_NODE,
+    n_nodes=32,
+    processes_per_node=2,
+    network_bw_gbs=5.5,
+    network_latency_us=3.0,
+)

@@ -1,0 +1,62 @@
+"""Disk + memory cache of built meshes.
+
+SCVT construction is deterministic, so meshes are cached by
+``(level, lloyd_iterations, radius)``.  The cache directory defaults to
+``~/.cache/repro-mpas`` and can be redirected with the ``REPRO_CACHE_DIR``
+environment variable (useful on shared file systems).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..constants import EARTH_RADIUS
+from .mesh import Mesh
+
+__all__ = ["cached_mesh", "cache_dir", "clear_memory_cache"]
+
+_MEMORY: dict[tuple[int, int, float], Mesh] = {}
+
+
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        path = Path(root)
+    else:
+        path = Path.home() / ".cache" / "repro-mpas"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def clear_memory_cache() -> None:
+    """Drop in-process cached meshes (mainly for tests of the cache itself)."""
+    _MEMORY.clear()
+
+
+def cached_mesh(
+    level: int,
+    lloyd_iterations: int = 4,
+    radius: float = EARTH_RADIUS,
+    use_disk: bool = True,
+) -> Mesh:
+    """Return the SCVT mesh at ``level``, building it at most once.
+
+    The in-memory cache makes repeated calls within one process free; the disk
+    cache makes them cheap across processes (test runs, benchmarks).
+    """
+    key = (level, lloyd_iterations, radius)
+    mesh = _MEMORY.get(key)
+    if mesh is not None:
+        return mesh
+    path = cache_dir() / f"icos{level}_lloyd{lloyd_iterations}_r{radius:.0f}.npz"
+    if use_disk and path.exists():
+        mesh = Mesh.load(path)
+    else:
+        mesh = Mesh.build(level, lloyd_iterations=lloyd_iterations, radius=radius)
+        if use_disk:
+            tmp = path.with_suffix(".tmp.npz")
+            mesh.save(tmp)
+            os.replace(tmp, path)
+    _MEMORY[key] = mesh
+    return mesh

@@ -1,0 +1,229 @@
+"""MPAS-style connectivity arrays for the C-staggered Voronoi mesh.
+
+The three point types of Figure 1 of the paper are:
+
+* **cells** (mass points) — the Voronoi generators,
+* **edges** (velocity points) — one per Voronoi cell boundary segment,
+* **vertices** (vorticity points) — the Voronoi vertices / Delaunay triangle
+  circumcentres.
+
+Index arrays follow MPAS naming but use 0-based indexing and ``-1`` padding
+(MPAS files are 1-based and 0-padded).  Orientation conventions:
+
+* ``verticesOnEdge[e] = (v0, v1)``: the edge *tangent* ``t_e`` points from
+  ``v0`` to ``v1``.
+* ``cellsOnEdge[e] = (c0, c1)``: the edge *normal* ``n_e`` points from ``c0``
+  to ``c1``, and ``(n_e, t_e, k)`` is right-handed (``t = k x n`` with ``k``
+  the outward radial direction), i.e. walking along ``t_e``, cell ``c0`` lies
+  on the left.
+* ``verticesOnCell[c]`` / ``edgesOnCell[c]`` are CCW-ordered and aligned:
+  ``edgesOnCell[c][j]`` joins ``verticesOnCell[c][j]`` to
+  ``verticesOnCell[c][j+1]`` (cyclically).
+* ``edgeSignOnCell[c][j] = +1`` when ``n_e`` points *out of* cell ``c``.
+* ``edgeSignOnVertex[v][j] = +1`` when ``n_e`` circulates CCW around ``v``
+  (equivalently ``v == verticesOnEdge[e][1]``); this is the sign with which
+  ``u_e * dcEdge_e`` enters the circulation integral defining vorticity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .voronoi import RawVoronoi
+
+__all__ = ["Connectivity", "build_connectivity"]
+
+FILL = -1
+
+
+@dataclass(frozen=True, eq=False)
+class Connectivity:
+    """All index arrays of the C-grid; see module docstring for conventions."""
+
+    n_cells: int
+    n_edges: int
+    n_vertices: int
+    max_edges: int
+
+    nEdgesOnCell: np.ndarray  # (nCells,) int
+    verticesOnCell: np.ndarray  # (nCells, maxEdges) int, FILL-padded
+    edgesOnCell: np.ndarray  # (nCells, maxEdges) int, FILL-padded
+    cellsOnCell: np.ndarray  # (nCells, maxEdges) int, FILL-padded
+
+    cellsOnEdge: np.ndarray  # (nEdges, 2) int
+    verticesOnEdge: np.ndarray  # (nEdges, 2) int
+
+    cellsOnVertex: np.ndarray  # (nVertices, 3) int, CCW
+    edgesOnVertex: np.ndarray  # (nVertices, 3) int, CCW-aligned with cells
+
+    edgeSignOnCell: np.ndarray  # (nCells, maxEdges) float, 0.0 padding
+    edgeSignOnVertex: np.ndarray  # (nVertices, 3) float
+
+    def validate_euler(self) -> None:
+        """Check the Euler characteristic of the closed spherical mesh."""
+        if self.n_vertices - self.n_edges + self.n_cells != 2:
+            raise ValueError(
+                "Euler characteristic violated: "
+                f"V={self.n_vertices} E={self.n_edges} F={self.n_cells}"
+            )
+
+
+def build_connectivity(raw: RawVoronoi) -> Connectivity:
+    """Derive the full connectivity of the C-grid from a raw Voronoi diagram."""
+    n_cells = raw.n_cells
+    n_vertices = raw.n_vertices
+    regions = raw.regions
+
+    n_edges_on_cell = np.array([len(r) for r in regions], dtype=np.int64)
+    max_edges = int(n_edges_on_cell.max())
+
+    # ------------------------------------------------------------------ edges
+    edge_of_pair: dict[tuple[int, int], int] = {}
+    cells_on_edge: list[list[int]] = []
+    vertices_on_edge: list[tuple[int, int]] = []
+
+    vertices_on_cell = np.full((n_cells, max_edges), FILL, dtype=np.int64)
+    edges_on_cell = np.full((n_cells, max_edges), FILL, dtype=np.int64)
+
+    for c, ring in enumerate(regions):
+        n = len(ring)
+        vertices_on_cell[c, :n] = ring
+        for j in range(n):
+            v0, v1 = ring[j], ring[(j + 1) % n]
+            key = (v0, v1) if v0 < v1 else (v1, v0)
+            e = edge_of_pair.get(key)
+            if e is None:
+                e = len(cells_on_edge)
+                edge_of_pair[key] = e
+                cells_on_edge.append([c, FILL])
+                # Directed pair as seen CCW from the first cell: the tangent
+                # v0 -> v1 keeps this cell on the left, so the normal points
+                # toward the (later) second cell.
+                vertices_on_edge.append((v0, v1))
+            else:
+                if cells_on_edge[e][1] != FILL:
+                    raise ValueError(f"edge {e} bounded by more than two cells")
+                cells_on_edge[e][1] = c
+            edges_on_cell[c, j] = e
+
+    n_edges = len(cells_on_edge)
+    cellsOnEdge = np.asarray(cells_on_edge, dtype=np.int64)
+    verticesOnEdge = np.asarray(vertices_on_edge, dtype=np.int64)
+    if np.any(cellsOnEdge == FILL):
+        raise ValueError("open boundary detected: sphere meshes must be closed")
+
+    # ------------------------------------------------------------ cellsOnCell
+    cells_on_cell = np.full((n_cells, max_edges), FILL, dtype=np.int64)
+    for c in range(n_cells):
+        for j in range(n_edges_on_cell[c]):
+            e = edges_on_cell[c, j]
+            c0, c1 = cellsOnEdge[e]
+            cells_on_cell[c, j] = c1 if c0 == c else c0
+
+    # ---------------------------------------------------------- vertex tables
+    cells_on_vertex = np.full((n_vertices, 3), FILL, dtype=np.int64)
+    vertex_fill = np.zeros(n_vertices, dtype=np.int64)
+    for c, ring in enumerate(regions):
+        for v in ring:
+            k = vertex_fill[v]
+            if k >= 3:
+                raise ValueError(f"vertex {v} touches more than 3 cells")
+            cells_on_vertex[v, k] = c
+            vertex_fill[v] = k + 1
+    if np.any(vertex_fill != 3):
+        raise ValueError("every vertex of a closed trivalent mesh must touch 3 cells")
+
+    edges_on_vertex = np.full((n_vertices, 3), FILL, dtype=np.int64)
+    evx_fill = np.zeros(n_vertices, dtype=np.int64)
+    for e in range(n_edges):
+        for v in verticesOnEdge[e]:
+            k = evx_fill[v]
+            if k >= 3:
+                raise ValueError(f"vertex {v} touches more than 3 edges")
+            edges_on_vertex[v, k] = e
+            evx_fill[v] = k + 1
+    if np.any(evx_fill != 3):
+        raise ValueError("every vertex of a closed trivalent mesh must touch 3 edges")
+
+    _orient_vertex_tables(raw, cells_on_vertex, edges_on_vertex, cellsOnEdge)
+
+    # ------------------------------------------------------------------ signs
+    edge_sign_on_cell = np.zeros((n_cells, max_edges), dtype=np.float64)
+    for c in range(n_cells):
+        for j in range(n_edges_on_cell[c]):
+            e = edges_on_cell[c, j]
+            edge_sign_on_cell[c, j] = 1.0 if cellsOnEdge[e, 0] == c else -1.0
+
+    # Walking along t_e (v0 -> v1), the CCW circulation around the *end*
+    # vertex v1 is aligned with +n_e, and around the start vertex v0 with
+    # -n_e (t = k x n  =>  k x t = -n).
+    edge_sign_on_vertex = np.zeros((n_vertices, 3), dtype=np.float64)
+    for v in range(n_vertices):
+        for j in range(3):
+            e = edges_on_vertex[v, j]
+            edge_sign_on_vertex[v, j] = 1.0 if verticesOnEdge[e, 1] == v else -1.0
+
+    conn = Connectivity(
+        n_cells=n_cells,
+        n_edges=n_edges,
+        n_vertices=n_vertices,
+        max_edges=max_edges,
+        nEdgesOnCell=n_edges_on_cell,
+        verticesOnCell=vertices_on_cell,
+        edgesOnCell=edges_on_cell,
+        cellsOnCell=cells_on_cell,
+        cellsOnEdge=cellsOnEdge,
+        verticesOnEdge=verticesOnEdge,
+        cellsOnVertex=cells_on_vertex,
+        edgesOnVertex=edges_on_vertex,
+        edgeSignOnCell=edge_sign_on_cell,
+        edgeSignOnVertex=edge_sign_on_vertex,
+    )
+    conn.validate_euler()
+    return conn
+
+
+def _orient_vertex_tables(
+    raw: RawVoronoi,
+    cells_on_vertex: np.ndarray,
+    edges_on_vertex: np.ndarray,
+    cellsOnEdge: np.ndarray,
+) -> None:
+    """Order ``cellsOnVertex``/``edgesOnVertex`` CCW around each vertex.
+
+    Cells are sorted by azimuth in the tangent plane at the vertex;
+    ``edgesOnVertex[v][j]`` is then aligned so that it is the edge *between*
+    ``cellsOnVertex[v][j]`` and ``cellsOnVertex[v][j+1]`` (cyclically), which
+    is the layout MPAS kernels assume.
+    """
+    xv = raw.vertices
+    xc = raw.generators
+    n_vertices = xv.shape[0]
+
+    # Build a lookup from unordered cell pairs to edge ids.
+    pair_to_edge: dict[tuple[int, int], int] = {}
+    for e, (c0, c1) in enumerate(cellsOnEdge):
+        key = (int(c0), int(c1)) if c0 < c1 else (int(c1), int(c0))
+        pair_to_edge[key] = e
+
+    for v in range(n_vertices):
+        p = xv[v]
+        # Local tangent frame (any orthonormal pair works for sorting).
+        ref = np.array([0.0, 0.0, 1.0]) if abs(p[2]) < 0.9 else np.array([1.0, 0.0, 0.0])
+        t1 = np.cross(ref, p)
+        t1 /= np.linalg.norm(t1)
+        t2 = np.cross(p, t1)
+        cells = cells_on_vertex[v].copy()
+        d = xc[cells] - p
+        ang = np.arctan2(d @ t2, d @ t1)
+        order = np.argsort(ang)
+        cells = cells[order]
+        # arctan2 sorting gives CCW order in the (t1, t2) frame, which is CCW
+        # seen from outside because (t1, t2, p) is right-handed.
+        cells_on_vertex[v] = cells
+        for j in range(3):
+            ca, cb = int(cells[j]), int(cells[(j + 1) % 3])
+            key = (ca, cb) if ca < cb else (cb, ca)
+            edges_on_vertex[v, j] = pair_to_edge[key]

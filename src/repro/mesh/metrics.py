@@ -1,0 +1,187 @@
+"""Geometric metric fields of the C-grid mesh.
+
+All lengths are in metres and areas in square metres on a sphere of the given
+radius; positions remain unit vectors.  Identities that must hold (and are
+asserted by the validation suite):
+
+* ``sum(areaCell) == sum(areaTriangle) == 4 * pi * R**2``
+* ``sum_j kiteAreasOnVertex[v, j] == areaTriangle[v]`` for every vertex
+* ``sum(dcEdge * dvEdge) / 2 == 4 * pi * R**2`` (edge diamonds tile the sphere)
+* edge frames satisfy ``t_e = k x n_e`` with ``n_e`` from ``c0`` to ``c1`` and
+  ``t_e`` from ``v0`` to ``v1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.sphere import (
+    arc_length,
+    normalize,
+    spherical_polygon_area,
+    spherical_triangle_area,
+    tangent_basis,
+    xyz_to_lonlat,
+)
+from .connectivity import Connectivity
+from .voronoi import RawVoronoi
+
+__all__ = ["Metrics", "build_metrics"]
+
+
+@dataclass(frozen=True, eq=False)
+class Metrics:
+    """Metric fields; names follow MPAS (lengths/areas scaled by radius)."""
+
+    radius: float
+
+    xCell: np.ndarray  # (nCells, 3) unit vectors
+    xEdge: np.ndarray  # (nEdges, 3) unit vectors
+    xVertex: np.ndarray  # (nVertices, 3) unit vectors
+
+    lonCell: np.ndarray
+    latCell: np.ndarray
+    lonEdge: np.ndarray
+    latEdge: np.ndarray
+    lonVertex: np.ndarray
+    latVertex: np.ndarray
+
+    areaCell: np.ndarray  # (nCells,) m^2
+    areaTriangle: np.ndarray  # (nVertices,) m^2
+    kiteAreasOnVertex: np.ndarray  # (nVertices, 3) m^2, aligned w/ cellsOnVertex
+
+    dcEdge: np.ndarray  # (nEdges,) m, distance between cell centres
+    dvEdge: np.ndarray  # (nEdges,) m, distance between vertices
+
+    edgeNormal: np.ndarray  # (nEdges, 3) unit tangent-plane vectors, c0 -> c1
+    edgeTangent: np.ndarray  # (nEdges, 3) unit tangent-plane vectors, v0 -> v1
+    angleEdge: np.ndarray  # (nEdges,) angle of edgeNormal from local east
+
+
+def build_metrics(raw: RawVoronoi, conn: Connectivity, radius: float) -> Metrics:
+    """Compute all metric fields for a sphere of the given ``radius``."""
+    xc = raw.generators
+    xv = raw.vertices
+    r2 = radius * radius
+
+    c0 = conn.cellsOnEdge[:, 0]
+    c1 = conn.cellsOnEdge[:, 1]
+    v0 = conn.verticesOnEdge[:, 0]
+    v1 = conn.verticesOnEdge[:, 1]
+
+    # Edge location: the crossing of the primal edge (v0-v1) and the dual arc
+    # (c0-c1).  For an exact Voronoi mesh the dual arc crosses the primal edge
+    # at the midpoint of the cell-centre arc, so we use that midpoint.
+    xe = normalize(xc[c0] + xc[c1])
+
+    dc = radius * arc_length(xc[c0], xc[c1])
+    dv = radius * arc_length(xv[v0], xv[v1])
+
+    # Edge frames in the tangent plane at the edge point.
+    chord_n = xc[c1] - xc[c0]
+    n_vec = chord_n - np.sum(chord_n * xe, axis=-1, keepdims=True) * xe
+    n_vec = normalize(n_vec)
+    t_vec = np.cross(xe, n_vec)  # t = k x n, right-handed frame
+    # Consistency: t must point from v0 to v1.
+    chord_t = xv[v1] - xv[v0]
+    if np.any(np.sum(t_vec * chord_t, axis=-1) <= 0.0):
+        bad = int(np.count_nonzero(np.sum(t_vec * chord_t, axis=-1) <= 0.0))
+        raise ValueError(
+            f"{bad} edges have inconsistent (normal, tangent) orientation; "
+            "the Voronoi regions were not CCW-ordered"
+        )
+
+    east, north = tangent_basis(xe)
+    angle_edge = np.arctan2(
+        np.sum(n_vec * north, axis=-1), np.sum(n_vec * east, axis=-1)
+    )
+
+    area_cell = np.empty(conn.n_cells, dtype=np.float64)
+    for c in range(conn.n_cells):
+        ring = conn.verticesOnCell[c, : conn.nEdgesOnCell[c]]
+        area_cell[c] = r2 * spherical_polygon_area(xv[ring])
+    if np.any(area_cell <= 0.0):
+        raise ValueError("non-positive cell area: orientation broken")
+
+    # areaTriangle: Delaunay triangle of the three cell centres around the
+    # vertex.  cellsOnVertex is CCW, so the signed excess is positive.
+    cov = conn.cellsOnVertex
+    area_tri = r2 * spherical_triangle_area(xc[cov[:, 0]], xc[cov[:, 1]], xc[cov[:, 2]])
+    if np.any(area_tri <= 0.0):
+        raise ValueError("non-positive triangle area: cellsOnVertex not CCW")
+
+    kites = _kite_areas(raw, conn, xe, r2)
+
+    lon_c, lat_c = xyz_to_lonlat(xc)
+    lon_e, lat_e = xyz_to_lonlat(xe)
+    lon_v, lat_v = xyz_to_lonlat(xv)
+
+    return Metrics(
+        radius=radius,
+        xCell=xc,
+        xEdge=xe,
+        xVertex=xv,
+        lonCell=lon_c,
+        latCell=lat_c,
+        lonEdge=lon_e,
+        latEdge=lat_e,
+        lonVertex=lon_v,
+        latVertex=lat_v,
+        areaCell=area_cell,
+        areaTriangle=area_tri,
+        kiteAreasOnVertex=kites,
+        dcEdge=dc,
+        dvEdge=dv,
+        edgeNormal=n_vec,
+        edgeTangent=t_vec,
+        angleEdge=angle_edge,
+    )
+
+
+def _kite_areas(
+    raw: RawVoronoi, conn: Connectivity, xe: np.ndarray, r2: float
+) -> np.ndarray:
+    """Signed kite areas, aligned with ``cellsOnVertex``.
+
+    The kite of (vertex ``v``, cell ``i``) is the spherical quadrilateral
+    ``(x_i, x_{e_prev}, x_v, x_{e_next})`` where ``e_prev``/``e_next`` are the
+    two edges of cell ``i`` meeting at ``v``, taken in CCW order around the
+    cell.  Signed triangle fans make the decomposition exact even for obtuse
+    Delaunay triangles whose circumcentre falls outside the triangle.
+    """
+    xc = raw.generators
+    xv = raw.vertices
+    n_vertices = conn.n_vertices
+    kites = np.zeros((n_vertices, 3), dtype=np.float64)
+
+    # For each cell, map vertex -> (previous edge, next edge) along the CCW
+    # ring.  verticesOnCell[c][j] sits between edgesOnCell[c][j-1] (previous)
+    # and edgesOnCell[c][j] (next).
+    prev_next: list[dict[int, tuple[int, int]]] = []
+    for c in range(conn.n_cells):
+        n = int(conn.nEdgesOnCell[c])
+        table: dict[int, tuple[int, int]] = {}
+        for j in range(n):
+            v = int(conn.verticesOnCell[c, j])
+            e_prev = int(conn.edgesOnCell[c, (j - 1) % n])
+            e_next = int(conn.edgesOnCell[c, j])
+            table[v] = (e_prev, e_next)
+        prev_next.append(table)
+
+    for v in range(n_vertices):
+        for j in range(3):
+            c = int(conn.cellsOnVertex[v, j])
+            e_prev, e_next = prev_next[c][v]
+            a = xc[c]
+            m_prev = xe[e_prev]
+            m_next = xe[e_next]
+            p = xv[v]
+            kites[v, j] = r2 * (
+                spherical_triangle_area(a, m_prev, p)
+                + spherical_triangle_area(a, p, m_next)
+            )
+    if np.any(kites <= 0.0):
+        raise ValueError("non-positive kite area: mesh too distorted for the C-grid")
+    return kites

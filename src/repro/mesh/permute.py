@@ -1,0 +1,70 @@
+"""Summation-order perturbations of a mesh.
+
+The paper's hybrid implementation is *not* bitwise identical to the original
+serial code: "since all computation kernels are parallelized ... and some
+loops are even refactored, the two results are not bit-wise identical"
+(Section V-A).  The refactored loops accumulate the same terms in a different
+order, perturbing results at round-off level — which Figure 5 then shows to
+be harmless.
+
+:func:`rotate_cell_rings` reproduces exactly that effect in a controlled
+way: it rotates every cell's CCW edge/vertex ring by ``shift`` positions
+(and rebuilds the TRiSK walk tables accordingly), so every gather kernel
+adds the same numbers in a rotated order.  The discretization is unchanged;
+only floating-point association differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .connectivity import Connectivity
+from .mesh import Mesh
+from .trisk import build_trisk_weights
+
+__all__ = ["rotate_cell_rings"]
+
+
+def rotate_cell_rings(mesh: Mesh, shift: int = 1) -> Mesh:
+    """Return a mesh equal to ``mesh`` with every cell ring rotated.
+
+    The rotation starts each cell's CCW boundary walk ``shift`` corners
+    later.  All geometry and point identities are preserved; only the order
+    of per-cell (and TRiSK per-edge) summations changes.
+    """
+    conn = mesh.connectivity
+    n_cells, max_edges = conn.n_cells, conn.max_edges
+
+    def rotate_rows(table: np.ndarray) -> np.ndarray:
+        out = table.copy()  # padding (FILL or 0.0) is preserved as-is
+        for c in range(n_cells):
+            n = int(conn.nEdgesOnCell[c])
+            k = shift % n
+            row = table[c, :n]
+            out[c, :n] = np.concatenate([row[k:], row[:k]])
+        return out
+
+    new_conn = Connectivity(
+        n_cells=n_cells,
+        n_edges=conn.n_edges,
+        n_vertices=conn.n_vertices,
+        max_edges=max_edges,
+        nEdgesOnCell=conn.nEdgesOnCell.copy(),
+        verticesOnCell=rotate_rows(conn.verticesOnCell),
+        edgesOnCell=rotate_rows(conn.edgesOnCell),
+        cellsOnCell=rotate_rows(conn.cellsOnCell),
+        cellsOnEdge=conn.cellsOnEdge.copy(),
+        verticesOnEdge=conn.verticesOnEdge.copy(),
+        cellsOnVertex=conn.cellsOnVertex.copy(),
+        edgesOnVertex=conn.edgesOnVertex.copy(),
+        edgeSignOnCell=rotate_rows(conn.edgeSignOnCell),
+        edgeSignOnVertex=conn.edgeSignOnVertex.copy(),
+    )
+    rotated = Mesh(
+        connectivity=new_conn,
+        metrics=mesh.metrics,
+        trisk=build_trisk_weights(new_conn, mesh.metrics),
+        name=f"{mesh.name}+rot{shift}",
+        info=dict(mesh.info),
+    )
+    return rotated

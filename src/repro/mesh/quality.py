@@ -1,0 +1,69 @@
+"""Mesh-quality diagnostics for SCVT meshes.
+
+These are reporting aids (used by examples and by Table III regeneration);
+none of the solver kernels depend on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.cvt import centroidality_residual
+from .mesh import Mesh
+
+__all__ = ["MeshQuality", "assess_quality"]
+
+
+@dataclass(frozen=True, eq=False)
+class MeshQuality:
+    """Summary statistics of a quasi-uniform SCVT mesh."""
+
+    n_cells: int
+    n_edges: int
+    n_vertices: int
+    n_pentagons: int
+    n_hexagons: int
+    n_other: int
+    area_ratio: float  # max(areaCell) / min(areaCell)
+    dc_ratio: float  # max(dcEdge) / min(dcEdge)
+    mean_resolution_km: float
+    centroidality: float  # max |generator - cell centroid| (radians)
+
+    def summary(self) -> str:
+        return (
+            f"cells={self.n_cells} edges={self.n_edges} vertices={self.n_vertices} "
+            f"pent={self.n_pentagons} hex={self.n_hexagons} other={self.n_other} "
+            f"area_ratio={self.area_ratio:.3f} dc_ratio={self.dc_ratio:.3f} "
+            f"res={self.mean_resolution_km:.1f}km centroidality={self.centroidality:.2e}"
+        )
+
+
+def assess_quality(mesh: Mesh, compute_centroidality: bool = True) -> MeshQuality:
+    """Compute quality statistics for ``mesh``.
+
+    ``compute_centroidality=False`` skips the (relatively expensive) extra
+    Voronoi pass; the field is then reported as ``nan``.
+    """
+    degrees = mesh.nEdgesOnCell
+    n_pent = int(np.count_nonzero(degrees == 5))
+    n_hex = int(np.count_nonzero(degrees == 6))
+    n_other = int(mesh.nCells - n_pent - n_hex)
+    area = mesh.areaCell
+    dc = mesh.dcEdge
+    cent = (
+        centroidality_residual(mesh.xCell) if compute_centroidality else float("nan")
+    )
+    return MeshQuality(
+        n_cells=mesh.nCells,
+        n_edges=mesh.nEdges,
+        n_vertices=mesh.nVertices,
+        n_pentagons=n_pent,
+        n_hexagons=n_hex,
+        n_other=n_other,
+        area_ratio=float(area.max() / area.min()),
+        dc_ratio=float(dc.max() / dc.min()),
+        mean_resolution_km=mesh.nominal_resolution_km,
+        centroidality=cent,
+    )

@@ -1,0 +1,106 @@
+"""TRiSK tangential-velocity reconstruction weights.
+
+The C-grid stores only the normal velocity component ``u_e`` on each edge.
+The tangential component ``v_e`` (needed by the nonlinear Coriolis term and
+the APVM upwinding) is reconstructed from the normal components on the edges
+of the two adjacent cells:
+
+.. math:: v_e = \\sum_{e' \\in EOE(e)} w_{e,e'} \\, u_{e'}
+
+following Thuburn et al. (2009) / Ringler et al. (2010).  The weight
+contributed by edge ``e'`` of cell ``i`` (one of the two cells sharing ``e``)
+is
+
+.. math::
+
+    w_{e,e'} = \\hat n_{e,i} \\, \\hat n_{e',i}
+               \\left(\\tfrac12 - \\sum_{v \\in walk(e \\to e')} R_{i,v}\\right)
+               \\frac{l_{e'}}{d_e},
+
+where the walk visits the vertices of cell ``i`` counter-clockwise from ``e``
+to ``e'``, ``R_{i,v}`` is the kite-area fraction
+``kiteAreasOnVertex / areaCell``, ``hat n_{e,i} = +1`` when the edge normal
+points out of cell ``i``, ``l`` is ``dvEdge`` and ``d`` is ``dcEdge``.  This
+is the construction MPAS ships in its mesh files; the dimensionless part is
+antisymmetric (``w~_{e,e'} = -w~_{e',e}``), which is what makes the discrete
+Coriolis term energy-neutral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .connectivity import FILL, Connectivity
+from .metrics import Metrics
+
+__all__ = ["TriskWeights", "build_trisk_weights"]
+
+
+@dataclass(frozen=True, eq=False)
+class TriskWeights:
+    """Padded ``edgesOnEdge`` / ``weightsOnEdge`` tables.
+
+    Attributes
+    ----------
+    nEdgesOnEdge : (nEdges,) int
+        Number of valid entries per edge (``n0 - 1 + n1 - 1``).
+    edgesOnEdge : (nEdges, 2 * maxEdges - 2) int
+        Participating edges, ``-1``-padded.
+    weightsOnEdge : (nEdges, 2 * maxEdges - 2) float
+        Reconstruction weights, zero-padded (safe to use with a gathered
+        ``edgesOnEdge`` where fill entries were clamped to 0).
+    """
+
+    nEdgesOnEdge: np.ndarray
+    edgesOnEdge: np.ndarray
+    weightsOnEdge: np.ndarray
+
+
+def build_trisk_weights(conn: Connectivity, metrics: Metrics) -> TriskWeights:
+    """Construct the TRiSK tables for a closed spherical C-grid."""
+    n_edges = conn.n_edges
+    width = 2 * conn.max_edges - 2
+    n_eoe = np.zeros(n_edges, dtype=np.int64)
+    eoe = np.full((n_edges, width), FILL, dtype=np.int64)
+    woe = np.zeros((n_edges, width), dtype=np.float64)
+
+    # Position of each edge within each of its two cells' CCW rings.
+    edge_pos_in_cell = np.full((n_edges, 2), -1, dtype=np.int64)
+    for c in range(conn.n_cells):
+        for j in range(int(conn.nEdgesOnCell[c])):
+            e = int(conn.edgesOnCell[c, j])
+            side = 0 if conn.cellsOnEdge[e, 0] == c else 1
+            edge_pos_in_cell[e, side] = j
+
+    # Position of each cell within each vertex's cellsOnVertex triple.
+    cell_slot_on_vertex: list[dict[int, int]] = [
+        {int(conn.cellsOnVertex[v, k]): k for k in range(3)}
+        for v in range(conn.n_vertices)
+    ]
+
+    inv_area = 1.0 / metrics.areaCell
+    dv = metrics.dvEdge
+    dc = metrics.dcEdge
+
+    for e in range(n_edges):
+        slot = 0
+        for side, sign_e in ((0, 1.0), (1, -1.0)):
+            c = int(conn.cellsOnEdge[e, side])
+            n = int(conn.nEdgesOnCell[c])
+            start = int(edge_pos_in_cell[e, side])
+            r_sum = 0.0
+            for j in range(1, n):
+                pos = (start + j) % n
+                v = int(conn.verticesOnCell[c, pos])
+                k = cell_slot_on_vertex[v][c]
+                r_sum += metrics.kiteAreasOnVertex[v, k] * inv_area[c]
+                e_j = int(conn.edgesOnCell[c, pos])
+                sign_ej = 1.0 if conn.cellsOnEdge[e_j, 0] == c else -1.0
+                eoe[e, slot] = e_j
+                woe[e, slot] = sign_e * sign_ej * (0.5 - r_sum) * dv[e_j] / dc[e]
+                slot += 1
+        n_eoe[e] = slot
+
+    return TriskWeights(nEdgesOnEdge=n_eoe, edgesOnEdge=eoe, weightsOnEdge=woe)

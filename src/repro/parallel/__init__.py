@@ -1,0 +1,28 @@
+"""Distributed substrate: partitioning, halos, functional multi-rank runs,
+and the strong/weak scaling models (Figures 8 and 9)."""
+
+from .halo import LocalMesh, build_local_mesh, halo_layers_required
+from .partition import PartitionQuality, partition_cells, partition_quality
+from .runner import DecomposedShallowWater
+from .scaling import (
+    ScalingPoint,
+    halo_exchange_seconds,
+    parallel_efficiency,
+    strong_scaling,
+    weak_scaling,
+)
+
+__all__ = [
+    "LocalMesh",
+    "build_local_mesh",
+    "halo_layers_required",
+    "PartitionQuality",
+    "partition_cells",
+    "partition_quality",
+    "DecomposedShallowWater",
+    "ScalingPoint",
+    "halo_exchange_seconds",
+    "parallel_efficiency",
+    "strong_scaling",
+    "weak_scaling",
+]

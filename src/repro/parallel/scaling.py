@@ -1,0 +1,126 @@
+"""Strong and weak scaling models (Figures 8 and 9).
+
+Per-process times come from the hybrid step model on the process-local
+problem (owned cells + redundant halo); communication from the FDR
+InfiniBand halo-exchange model, including the PCIe synchronization the
+hybrid code pays to stage halo data off/onto the accelerator.
+
+The paper's configurations:
+
+* **strong scaling** (Fig. 8): 30-km (655,362 cells) and 15-km (2,621,442
+  cells) meshes, 1..64 MPI processes (x2 each step);
+* **weak scaling** (Fig. 9): ~40,962 cells per process, 1..64 processes
+  (x4 each step);
+* the "CPU version" is the original pure-MPI code, one (single-threaded)
+  process per CPU/MIC group, exactly as in Figure 7's baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hybrid.stepmodel import LocalProblem, decompose, hybrid_step_time, serial_step_time
+from ..machine.interconnect import HaloExchangeModel, TransferModel
+from ..machine.spec import PAPER_CLUSTER, ClusterSpec
+
+__all__ = [
+    "ScalingPoint",
+    "halo_exchange_seconds",
+    "strong_scaling",
+    "weak_scaling",
+    "parallel_efficiency",
+]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One x-axis point of Figure 8/9."""
+
+    n_procs: int
+    total_cells: int
+    local: LocalProblem
+    cpu_time: float  # original code, time per step
+    hybrid_time: float  # pattern-driven hybrid, time per step
+
+    @property
+    def hybrid_gain(self) -> float:
+        """How much faster the hybrid code is than the original at this P."""
+        return self.cpu_time / self.hybrid_time
+
+
+def halo_exchange_seconds(
+    local: LocalProblem,
+    cluster: ClusterSpec = PAPER_CLUSTER,
+    hybrid: bool = False,
+) -> float:
+    """Seconds per halo exchange of the prognostic state (h at cells, u at
+    edges; edges outnumber halo cells ~3:1).
+
+    The hybrid code additionally stages the halo band across PCIe in both
+    directions (download before MPI, upload after).
+    """
+    if local.halo_cells == 0:
+        return 0.0
+    halo_points = local.halo_cells * 4  # cells + ~3x edges
+    net = HaloExchangeModel(
+        bandwidth_gbs=cluster.network_bw_gbs,
+        latency_us=cluster.network_latency_us,
+    )
+    t = net.time(halo_points, n_fields=1)
+    if hybrid:
+        pcie = TransferModel(
+            bandwidth_gbs=cluster.node.pcie_bw_gbs,
+            latency_us=cluster.node.pcie_latency_us,
+        )
+        t += 2.0 * pcie.time(8.0 * halo_points)
+    return t
+
+
+def _point(total_cells: int, n_procs: int, cluster: ClusterSpec) -> ScalingPoint:
+    local = decompose(total_cells, n_procs)
+    cpu_halo = halo_exchange_seconds(local, cluster, hybrid=False)
+    hyb_halo = halo_exchange_seconds(local, cluster, hybrid=True)
+    return ScalingPoint(
+        n_procs=n_procs,
+        total_cells=total_cells,
+        local=local,
+        cpu_time=serial_step_time(local, halo_time=cpu_halo),
+        hybrid_time=hybrid_step_time(local, mode="pattern", halo_time=hyb_halo),
+    )
+
+
+def strong_scaling(
+    total_cells: int,
+    procs: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    cluster: ClusterSpec = PAPER_CLUSTER,
+) -> list[ScalingPoint]:
+    """Figure 8: fixed mesh, growing process count."""
+    return [_point(total_cells, p, cluster) for p in procs]
+
+
+def weak_scaling(
+    cells_per_proc: int = 40962,
+    procs: tuple[int, ...] = (1, 4, 16, 64),
+    cluster: ClusterSpec = PAPER_CLUSTER,
+) -> list[ScalingPoint]:
+    """Figure 9: ~fixed cells per process, growing process count."""
+    return [_point(cells_per_proc * p, p, cluster) for p in procs]
+
+
+def parallel_efficiency(series: list[ScalingPoint], which: str = "hybrid") -> list[float]:
+    """Efficiency relative to the first point of a series.
+
+    Strong scaling: ``t1 / (P * tP)`` (adjusted for the first point's process
+    count); weak scaling: ``t1 / tP``.
+    """
+    attr = "hybrid_time" if which == "hybrid" else "cpu_time"
+    t0 = getattr(series[0], attr)
+    p0 = series[0].n_procs
+    out = []
+    for pt in series:
+        t = getattr(pt, attr)
+        if pt.total_cells == series[0].total_cells:  # strong
+            out.append(t0 * p0 / (pt.n_procs * t))
+        else:  # weak
+            out.append(t0 / t)
+    return out

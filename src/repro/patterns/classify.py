@@ -1,0 +1,130 @@
+"""Classification of computations into patterns — the Section III-A analysis.
+
+The paper identifies patterns "through a rigorous analysis of the MPAS code":
+every loop is classified by the point type it writes and the point types it
+reads, and by whether it reads a *neighbourhood* (stencil) or only the output
+point itself (local).  This module provides that classification as code: a
+registry of where each Table I variable lives, and :func:`classify` which
+maps a loop signature to a stencil kind or to ``None`` (local).
+"""
+
+from __future__ import annotations
+
+from .pattern import PatternKind
+from .points import PointType
+
+__all__ = ["VARIABLE_POINTS", "point_of", "classify"]
+
+#: Point type of every variable appearing in Table I.
+VARIABLE_POINTS: dict[str, PointType] = {
+    "h": PointType.CELL,
+    "h_acc": PointType.CELL,
+    "provis_h": PointType.CELL,
+    "tend_h": PointType.CELL,
+    "ke": PointType.CELL,
+    "divergence": PointType.CELL,
+    "pv_cell": PointType.CELL,
+    "d2fdx2_cell1": PointType.CELL,
+    "d2fdx2_cell2": PointType.CELL,
+    "b": PointType.CELL,
+    "uReconstructX": PointType.CELL,
+    "uReconstructY": PointType.CELL,
+    "uReconstructZ": PointType.CELL,
+    "uReconstructZonal": PointType.CELL,
+    "uReconstructMeridional": PointType.CELL,
+    "u": PointType.EDGE,
+    "u_acc": PointType.EDGE,
+    "provis_u": PointType.EDGE,
+    "tend_u": PointType.EDGE,
+    "h_edge": PointType.EDGE,
+    "v": PointType.EDGE,
+    "pv_edge": PointType.EDGE,
+    "vorticity": PointType.VERTEX,
+    "h_vertex": PointType.VERTEX,
+    "pv_vertex": PointType.VERTEX,
+    "f_vertex": PointType.VERTEX,
+}
+
+
+def point_of(variable: str) -> PointType:
+    """Point type of a Table I variable name."""
+    try:
+        return VARIABLE_POINTS[variable]
+    except KeyError:
+        raise KeyError(f"unknown model variable {variable!r}") from None
+
+
+#: For each output type, the stencil kind selected by foreign neighbourhood
+#: input types, in priority order (widest geometric relation first).
+_FOREIGN_PRIORITY: dict[PointType, tuple[tuple[PointType, PatternKind], ...]] = {
+    PointType.CELL: (
+        (PointType.EDGE, PatternKind.A),
+        (PointType.VERTEX, PatternKind.F),
+    ),
+    PointType.EDGE: (
+        (PointType.VERTEX, PatternKind.G),
+        (PointType.CELL, PatternKind.D),
+    ),
+    PointType.VERTEX: (
+        (PointType.EDGE, PatternKind.H),
+        (PointType.CELL, PatternKind.E),
+    ),
+}
+
+#: Same-type neighbourhood stencils.
+_SAME_TYPE: dict[PointType, PatternKind] = {
+    PointType.CELL: PatternKind.C,  # d2fdx2 cell neighbourhood
+    PointType.EDGE: PatternKind.B,  # TRiSK edgesOnEdge neighbourhood
+}
+
+
+def classify(
+    outputs: tuple[str, ...],
+    inputs: tuple[str, ...],
+    neighborhood: bool = True,
+    point_local: tuple[str, ...] = (),
+) -> PatternKind | None:
+    """Classify a loop signature into one of the eight patterns, or local.
+
+    Parameters
+    ----------
+    outputs, inputs : tuples of Table I variable names
+        Output variables must share one point type.
+    neighborhood : bool
+        Whether the loop reads any input at *neighbouring* mesh points (a
+        type signature alone cannot distinguish a same-type stencil like the
+        ``d2fdx2`` cell neighbourhood from a pointwise update).
+    point_local : tuple of str
+        Inputs read only at the output point itself (e.g. ``u`` and ``v``
+        inside the APVM correction of ``pv_edge``); they do not contribute to
+        the stencil shape.
+
+    Returns
+    -------
+    PatternKind or None
+        ``None`` means a local (X-type) computation.  An edge (cell) output
+        with same-type neighbourhood reads is the TRiSK (d2fdx2)
+        neighbourhood; otherwise the widest foreign relation present wins.
+    """
+    out_types = {point_of(v) for v in outputs}
+    if len(out_types) != 1:
+        raise ValueError(f"pattern writes multiple point types: {sorted(outputs)}")
+    out_t = out_types.pop()
+
+    if not neighborhood:
+        return None
+
+    stencil_inputs = [v for v in inputs if v not in point_local]
+    same_type_foreign = any(
+        point_of(v) is out_t and v not in outputs for v in stencil_inputs
+    )
+    foreign = {point_of(v) for v in stencil_inputs} - {out_t}
+    if not foreign and not same_type_foreign:
+        return None  # reads only its own point: local after all
+
+    if same_type_foreign and out_t in _SAME_TYPE:
+        return _SAME_TYPE[out_t]
+    for in_t, kind in _FOREIGN_PRIORITY[out_t]:
+        if in_t in foreign:
+            return kind
+    raise ValueError(f"cannot classify {outputs} <- {inputs}")

@@ -1,0 +1,26 @@
+"""The three mesh point types of the C-staggered Voronoi mesh (Figure 1)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["PointType"]
+
+
+class PointType(Enum):
+    """Where a discretized variable lives on the C-grid."""
+
+    CELL = "cell"  # mass points (Voronoi generators)
+    EDGE = "edge"  # velocity points
+    VERTEX = "vertex"  # vorticity points (Voronoi vertices)
+
+    def count(self, mesh) -> int:
+        """Number of points of this type on ``mesh``."""
+        return {
+            PointType.CELL: mesh.nCells,
+            PointType.EDGE: mesh.nEdges,
+            PointType.VERTEX: mesh.nVertices,
+        }[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,37 @@
+"""The ``enforce_boundary_edge`` kernel (Algorithm 1, line 4).
+
+Zeroes the momentum tendency on boundary edges.  Global spherical meshes are
+closed, so the default mask is empty and the kernel is a (cheap) no-op — but
+it is kept as a first-class kernel for fidelity with Algorithm 1 and to
+support limited-area masks, which MPAS carries through the same code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.mesh import Mesh
+
+__all__ = ["boundary_edge_mask", "enforce_boundary_edge"]
+
+
+def boundary_edge_mask(mesh: Mesh, cell_mask: np.ndarray | None = None) -> np.ndarray:
+    """Boolean mask of boundary edges.
+
+    With ``cell_mask`` (True = active cell), an edge is a boundary edge when
+    its two cells have different activity; without one, the closed sphere has
+    no boundary and the mask is all-False.
+    """
+    if cell_mask is None:
+        return np.zeros(mesh.nEdges, dtype=bool)
+    cell_mask = np.asarray(cell_mask, dtype=bool)
+    c0 = mesh.connectivity.cellsOnEdge[:, 0]
+    c1 = mesh.connectivity.cellsOnEdge[:, 1]
+    return cell_mask[c0] != cell_mask[c1]
+
+
+def enforce_boundary_edge(tend_u: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Zero ``tend_u`` on masked edges, in place; returns ``tend_u``."""
+    if mask.any():
+        tend_u[mask] = 0.0
+    return tend_u

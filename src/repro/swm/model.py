@@ -1,0 +1,192 @@
+"""High-level shallow-water model driver: the three-phase MPAS procedure.
+
+``ShallowWaterModel`` wraps initialization (mesh + test case + Coriolis),
+time-integration (RK-4 stepping with optional per-step callbacks) and
+finalization (summary of invariants and errors), mirroring the MPAS running
+procedure described in Section II-B of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import SECONDS_PER_DAY
+from ..mesh.mesh import Mesh
+from .config import SWConfig
+from .error import ErrorNorms, Invariants, error_norms, invariants
+from .state import Diagnostics, Reconstruction, State
+from .testcases import TestCase, initialize
+from .timestep import RK4Integrator, StepResult
+
+__all__ = ["ShallowWaterModel", "RunResult", "suggested_dt"]
+
+
+def suggested_dt(mesh: Mesh, case: TestCase, gravity: float, cfl: float = 0.5) -> float:
+    """Gravity-wave CFL time step estimate for a test case on a mesh.
+
+    ``dt = cfl * min(dcEdge) / (|U| + sqrt(g * max(h + b)))``.
+    """
+    met = mesh.metrics
+    h = case.thickness(met.xCell) + case.topography(met.xCell)
+    vel = case.velocity(met.xCell)
+    c = np.sqrt(gravity * float(np.max(h)))
+    umax = float(np.max(np.linalg.norm(vel, axis=1)))
+    return cfl * float(np.min(met.dcEdge)) / (umax + c)
+
+
+@dataclass
+class RunResult:
+    """Outcome of a model run."""
+
+    state: State
+    diagnostics: Diagnostics
+    reconstruction: Reconstruction | None
+    steps: int
+    elapsed_seconds: float  # simulated time
+    invariant_history: list[Invariants] = field(default_factory=list)
+
+    def mass_drift(self) -> float:
+        """Relative mass change over the run (should be ~ round-off)."""
+        h0 = self.invariant_history[0].mass
+        return abs(self.invariant_history[-1].mass - h0) / abs(h0)
+
+    def energy_drift(self) -> float:
+        """Relative total-energy change over the run."""
+        e0 = self.invariant_history[0].total_energy
+        return abs(self.invariant_history[-1].total_energy - e0) / abs(e0)
+
+
+class ShallowWaterModel:
+    """Initialization / time-integration / finalization driver."""
+
+    def __init__(self, mesh: Mesh, config: SWConfig) -> None:
+        self.mesh = mesh
+        self.config = config
+        self.case: TestCase | None = None
+        self.state: State | None = None
+        self.diagnostics: Diagnostics | None = None
+        self.b_cell: np.ndarray | None = None
+        self.integrator: RK4Integrator | None = None
+
+    # ---------------------------------------------------------------- phases
+    def initialize(self, case: TestCase) -> State:
+        """Phase 1: discretize the test case and prime the diagnostics."""
+        self.case = case
+        state, b = initialize(self.mesh, case)
+        if case.coriolis is not None:
+            f_vertex = case.coriolis(self.mesh.metrics.xVertex)
+        else:
+            f_vertex = self.config.coriolis(self.mesh.metrics.latVertex)
+        self.integrator = RK4Integrator(self.mesh, self.config, b, f_vertex)
+        self.b_cell = b
+        self.state = state
+        self.diagnostics = self.integrator.diagnostics_for(state)
+        return state
+
+    def run(
+        self,
+        steps: int | None = None,
+        days: float | None = None,
+        invariant_interval: int = 0,
+        callback=None,
+    ) -> RunResult:
+        """Phase 2: integrate for ``steps`` steps or ``days`` simulated days.
+
+        ``invariant_interval > 0`` records the conserved integrals every that
+        many steps (plus at start and end).  ``callback(step, result)`` runs
+        after each step when given.
+        """
+        if (steps is None) == (days is None):
+            raise ValueError("specify exactly one of steps/days")
+        if steps is None:
+            steps = int(round(days * SECONDS_PER_DAY / self.config.dt))
+        if self.state is None or self.integrator is None:
+            raise RuntimeError("initialize() must be called before run()")
+
+        state, diag = self.state, self.diagnostics
+        history: list[Invariants] = []
+
+        def record() -> None:
+            history.append(
+                invariants(self.mesh, state, diag, self.b_cell, self.config.gravity)
+            )
+
+        record()
+        recon = None
+        for step in range(1, steps + 1):
+            result: StepResult = self.integrator.step(state, diag)
+            state, diag, recon = result.state, result.diagnostics, result.reconstruction
+            if invariant_interval and step % invariant_interval == 0:
+                record()
+            if callback is not None:
+                callback(step, result)
+        if not invariant_interval or steps % invariant_interval != 0:
+            record()
+
+        self.state, self.diagnostics = state, diag
+        return RunResult(
+            state=state,
+            diagnostics=diag,
+            reconstruction=recon,
+            steps=steps,
+            elapsed_seconds=steps * self.config.dt,
+            invariant_history=history,
+        )
+
+    # ------------------------------------------------------------ checkpoints
+    def save_checkpoint(self, path) -> None:
+        """Write a restart file: prognostic state + the run's fixed fields.
+
+        The continuation contract (tested): restoring and running N steps is
+        bitwise identical to having run N more steps without the restart —
+        the end-of-step diagnostics are a pure function of the state, so
+        only ``h``, ``u``, ``b``, ``f`` and the configuration need storing
+        (exactly MPAS's restart-stream content for this core).
+        """
+        import dataclasses
+        import json
+        from pathlib import Path
+
+        if self.state is None:
+            raise RuntimeError("nothing to checkpoint: initialize() first")
+        np.savez_compressed(
+            Path(path),
+            h=self.state.h,
+            u=self.state.u,
+            b_cell=self.b_cell,
+            f_vertex=self.integrator.f_vertex,
+            config=np.array(json.dumps(dataclasses.asdict(self.config))),
+        )
+
+    @classmethod
+    def from_checkpoint(cls, mesh: Mesh, path) -> "ShallowWaterModel":
+        """Rebuild a runnable model from a restart file (same mesh)."""
+        import json
+        from pathlib import Path
+
+        with np.load(Path(path)) as data:
+            config = SWConfig(**json.loads(str(data["config"])))
+            model = cls(mesh, config)
+            state = State(h=data["h"].copy(), u=data["u"].copy())
+            state.validate_shapes(mesh.nCells, mesh.nEdges)
+            model.b_cell = data["b_cell"].copy()
+            model.integrator = RK4Integrator(
+                mesh, config, model.b_cell, data["f_vertex"].copy()
+            )
+        model.state = state
+        model.diagnostics = model.integrator.diagnostics_for(state)
+        return model
+
+    # ----------------------------------------------------------- finalization
+    def exact_error(self) -> ErrorNorms:
+        """Error norms against the exact solution (test cases that have one)."""
+        if self.case is None or self.case.exact_thickness is None:
+            raise ValueError("current test case has no exact solution")
+        href = self.case.exact_thickness(self.mesh.metrics.xCell)
+        return error_norms(self.mesh, self.state.h, href)
+
+    def total_height(self) -> np.ndarray:
+        """``h + b`` — the Figure 5 field."""
+        return self.state.h + self.b_cell

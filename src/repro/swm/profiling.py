@@ -1,0 +1,131 @@
+"""Per-kernel wall-time profiling of the real Python model.
+
+Section II-C: "In the kernel-level design, one usually profiles the code to
+identify the most time-consuming kernels."  This module performs that exact
+step on the *real* NumPy implementation: a :class:`ProfiledIntegrator` wraps
+:class:`~repro.swm.timestep.RK4Integrator` and accumulates wall time per
+Algorithm 1 kernel, giving the measured cost breakdown that motivates the
+Figure 2 placement (``compute_tend`` and ``compute_solve_diagnostics``
+dominate).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mesh.mesh import Mesh
+from .boundary import enforce_boundary_edge
+from .config import SWConfig
+from .diagnostics import compute_solve_diagnostics
+from .reconstruct import mpas_reconstruct
+from .state import Diagnostics, State
+from .tendencies import compute_tend
+from .timestep import (
+    RK4Integrator,
+    RK_ACCUMULATE_WEIGHTS,
+    RK_SUBSTEP_WEIGHTS,
+    StepResult,
+    accumulative_update,
+    compute_next_substep_state,
+)
+
+__all__ = ["KernelProfile", "ProfiledIntegrator"]
+
+
+@dataclass
+class KernelProfile:
+    """Accumulated wall time per kernel, in seconds."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    steps: int = 0
+
+    def add(self, kernel: str, dt: float) -> None:
+        self.seconds[kernel] = self.seconds.get(kernel, 0.0) + dt
+
+    def reset(self) -> None:
+        """Clear accumulated times (e.g. after a warm-up step that pays the
+        one-time coefficient/matrix construction costs)."""
+        self.seconds.clear()
+        self.steps = 0
+
+    def fractions(self) -> dict[str, float]:
+        total = sum(self.seconds.values())
+        if total == 0.0:
+            return {k: 0.0 for k in self.seconds}
+        return {k: v / total for k, v in self.seconds.items()}
+
+    def dominant(self) -> str:
+        return max(self.seconds, key=lambda k: self.seconds[k])
+
+    def table_rows(self) -> list[list[str]]:
+        total = sum(self.seconds.values())
+        rows = []
+        for kernel, secs in sorted(self.seconds.items(), key=lambda kv: -kv[1]):
+            rows.append(
+                [kernel, f"{secs * 1e3:.2f} ms", f"{100 * secs / total:.1f}%"]
+            )
+        return rows
+
+
+class ProfiledIntegrator(RK4Integrator):
+    """RK-4 integrator that times every Algorithm 1 kernel call."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.profile = KernelProfile()
+
+    def _timed(self, kernel: str, fn, *args, **kwargs):
+        t0 = time.perf_counter()
+        out = fn(*args, **kwargs)
+        self.profile.add(kernel, time.perf_counter() - t0)
+        return out
+
+    def step(self, state: State, diag: Diagnostics) -> StepResult:
+        dt = self.config.dt
+        provis = state.copy()
+        provis_diag = diag
+        acc = state.copy()
+
+        new_diag: Diagnostics | None = None
+        for stage in range(4):
+            self.exchange_halo(provis)
+            tend_h, tend_u = self._timed(
+                "compute_tend",
+                compute_tend,
+                self.mesh, provis, provis_diag, self.b_cell, self.config,
+            )
+            self._timed(
+                "enforce_boundary_edge",
+                enforce_boundary_edge, tend_u, self.boundary_mask,
+            )
+            self._timed(
+                "accumulative_update",
+                accumulative_update,
+                acc, tend_h, tend_u, RK_ACCUMULATE_WEIGHTS[stage] * dt,
+            )
+            if stage < 3:
+                provis = self._timed(
+                    "compute_next_substep_state",
+                    compute_next_substep_state,
+                    state, tend_h, tend_u, RK_SUBSTEP_WEIGHTS[stage] * dt,
+                )
+                self.exchange_halo(provis)
+                provis_diag = self._timed(
+                    "compute_solve_diagnostics",
+                    compute_solve_diagnostics,
+                    self.mesh, provis, self.f_vertex, self.config,
+                )
+            else:
+                self.exchange_halo(acc)
+                new_diag = self._timed(
+                    "compute_solve_diagnostics",
+                    compute_solve_diagnostics,
+                    self.mesh, acc, self.f_vertex, self.config,
+                )
+        recon = self._timed("mpas_reconstruct", mpas_reconstruct, self.mesh, acc.u)
+        self.profile.steps += 1
+        assert new_diag is not None
+        return StepResult(state=acc, diagnostics=new_diag, reconstruction=recon)

@@ -1,0 +1,118 @@
+"""Loop-order reference implementations of the TRiSK operators.
+
+These are direct Python transcriptions of the MPAS Fortran loops — including
+the *edge-order scatter* forms that Algorithm 2 of the paper highlights as
+race-prone under multithreading.  They exist to pin down the semantics of the
+vectorized gather kernels in :mod:`repro.swm.operators` (equivalence is
+asserted by the test suite) and to serve as the "original code" baseline in
+the reduction benchmarks.  They are deliberately unoptimized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.mesh import Mesh
+
+__all__ = [
+    "cell_divergence_scatter",
+    "cell_divergence_loop",
+    "vertex_curl_loop",
+    "cell_kinetic_energy_loop",
+    "tangential_velocity_loop",
+    "vertex_from_cells_kite_loop",
+    "cell_from_vertices_kite_loop",
+]
+
+
+def cell_divergence_scatter(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+    """Edge-order scatter divergence — the Algorithm 2 access pattern.
+
+    Traverses edges and accumulates into the two adjacent cells with opposite
+    signs; the normal points from cell0 to cell1, so it is an outflow for
+    cell0 (+) and an inflow for cell1 (-).
+    """
+    conn, met = mesh.connectivity, mesh.metrics
+    out = np.zeros(conn.n_cells, dtype=np.float64)
+    for e in range(conn.n_edges):
+        c0 = conn.cellsOnEdge[e, 0]
+        c1 = conn.cellsOnEdge[e, 1]
+        flux = u_edge[e] * met.dvEdge[e]
+        out[c0] += flux
+        out[c1] -= flux
+    return out / met.areaCell
+
+
+def cell_divergence_loop(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+    """Cell-order gather divergence — the Algorithm 3 access pattern."""
+    conn, met = mesh.connectivity, mesh.metrics
+    out = np.zeros(conn.n_cells, dtype=np.float64)
+    for c in range(conn.n_cells):
+        acc = 0.0
+        for j in range(int(conn.nEdgesOnCell[c])):
+            e = conn.edgesOnCell[c, j]
+            acc += conn.edgeSignOnCell[c, j] * u_edge[e] * met.dvEdge[e]
+        out[c] = acc / met.areaCell[c]
+    return out
+
+
+def vertex_curl_loop(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+    """Vertex-order circulation / area."""
+    conn, met = mesh.connectivity, mesh.metrics
+    out = np.zeros(conn.n_vertices, dtype=np.float64)
+    for v in range(conn.n_vertices):
+        acc = 0.0
+        for j in range(3):
+            e = conn.edgesOnVertex[v, j]
+            acc += conn.edgeSignOnVertex[v, j] * u_edge[e] * met.dcEdge[e]
+        out[v] = acc / met.areaTriangle[v]
+    return out
+
+
+def cell_kinetic_energy_loop(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+    conn, met = mesh.connectivity, mesh.metrics
+    out = np.zeros(conn.n_cells, dtype=np.float64)
+    for c in range(conn.n_cells):
+        acc = 0.0
+        for j in range(int(conn.nEdgesOnCell[c])):
+            e = conn.edgesOnCell[c, j]
+            acc += 0.25 * met.dcEdge[e] * met.dvEdge[e] * u_edge[e] ** 2
+        out[c] = acc / met.areaCell[c]
+    return out
+
+
+def tangential_velocity_loop(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+    tri = mesh.trisk
+    out = np.zeros(mesh.nEdges, dtype=np.float64)
+    for e in range(mesh.nEdges):
+        acc = 0.0
+        for j in range(int(tri.nEdgesOnEdge[e])):
+            acc += tri.weightsOnEdge[e, j] * u_edge[tri.edgesOnEdge[e, j]]
+        out[e] = acc
+    return out
+
+
+def vertex_from_cells_kite_loop(mesh: Mesh, phi_cell: np.ndarray) -> np.ndarray:
+    conn, met = mesh.connectivity, mesh.metrics
+    out = np.zeros(conn.n_vertices, dtype=np.float64)
+    for v in range(conn.n_vertices):
+        acc = 0.0
+        for j in range(3):
+            acc += met.kiteAreasOnVertex[v, j] * phi_cell[conn.cellsOnVertex[v, j]]
+        out[v] = acc / met.areaTriangle[v]
+    return out
+
+
+def cell_from_vertices_kite_loop(mesh: Mesh, phi_vertex: np.ndarray) -> np.ndarray:
+    """Vertex->cell kite interpolation, written as a *scatter over vertices*.
+
+    Like Algorithm 2 this writes cell data in vertex order — the second
+    irregular-reduction shape in the model.
+    """
+    conn, met = mesh.connectivity, mesh.metrics
+    out = np.zeros(conn.n_cells, dtype=np.float64)
+    for v in range(conn.n_vertices):
+        for j in range(3):
+            c = conn.cellsOnVertex[v, j]
+            out[c] += met.kiteAreasOnVertex[v, j] * phi_vertex[v]
+    return out / met.areaCell

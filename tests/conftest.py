@@ -1,0 +1,42 @@
+"""Shared fixtures: cached session meshes and deterministic random fields."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def mesh3():
+    """642-cell SCVT mesh (icosahedral level 3, Lloyd-relaxed)."""
+    from repro.mesh import cached_mesh
+
+    return cached_mesh(3)
+
+
+@pytest.fixture(scope="session")
+def mesh4():
+    """2,562-cell SCVT mesh (icosahedral level 4, Lloyd-relaxed)."""
+    from repro.mesh import cached_mesh
+
+    return cached_mesh(4)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(20150815)  # ICPP 2015
+
+
+@pytest.fixture()
+def edge_field(mesh3, rng):
+    return rng.standard_normal(mesh3.nEdges)
+
+
+@pytest.fixture()
+def cell_field(mesh3, rng):
+    return rng.standard_normal(mesh3.nCells)
+
+
+@pytest.fixture()
+def vertex_field(mesh3, rng):
+    return rng.standard_normal(mesh3.nVertices)

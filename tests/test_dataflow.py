@@ -1,0 +1,150 @@
+"""Unit tests of the data-flow diagram construction and analysis."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.dataflow import (
+    build_stage_graph,
+    build_step_graph,
+    concurrency_profile,
+    critical_path,
+    independent_sets,
+    stage_kernels,
+    topological_levels,
+    total_work,
+)
+from repro.dataflow.graph import DataFlowGraph
+from repro.patterns import build_catalog
+from repro.swm import SWConfig
+
+
+def _cfg():
+    return SWConfig(dt=1.0, thickness_adv_order=4)
+
+
+class TestStageKernels:
+    def test_early_stages(self):
+        for s in (1, 2, 3):
+            ks = stage_kernels(s)
+            assert "compute_next_substep_state" in ks
+            assert "mpas_reconstruct" not in ks
+
+    def test_final_stage(self):
+        ks = stage_kernels(4)
+        assert "mpas_reconstruct" in ks
+        assert "compute_next_substep_state" not in ks
+        # Algorithm 1: accumulate before the final diagnostics.
+        assert ks.index("accumulative_update") < ks.index("compute_solve_diagnostics")
+
+    def test_invalid_stage(self):
+        with pytest.raises(ValueError):
+            stage_kernels(0)
+
+
+class TestStageGraph:
+    def test_acyclic(self):
+        g = build_stage_graph(_cfg(), stage=1)
+        assert nx.is_directed_acyclic_graph(g.graph)
+
+    def test_all_catalog_instances_present(self):
+        g = build_stage_graph(_cfg(), stage=2)
+        labels = {n.split(":")[1] for n in g.compute_nodes()}
+        expected = {
+            i.label
+            for i in build_catalog(_cfg())
+            if i.kernel != "mpas_reconstruct"
+        }
+        assert labels == expected
+
+    def test_halo_nodes_present(self):
+        g = build_stage_graph(_cfg(), stage=1, with_halo=True)
+        assert len(g.halo_nodes()) == 2
+
+    def test_halo_optional(self):
+        g = build_stage_graph(_cfg(), stage=1, with_halo=False)
+        assert g.halo_nodes() == []
+
+    def test_b1_depends_on_diag_sources(self):
+        g = build_stage_graph(_cfg(), stage=1)
+        preds = set(g.graph.predecessors("s1:B1"))
+        # Stage 1 reads last step's diagnostics through the sources/halo.
+        assert any("pv_edge" == g.graph.edges[p, "s1:B1"]["variable"] for p in preds)
+
+    def test_accumulate_independent_of_diagnostics(self):
+        g = build_stage_graph(_cfg(), stage=1)
+        assert independent_sets(g, ["s1:X4", "s1:G1"])
+        assert independent_sets(g, ["s1:X5", "s1:E1"])
+
+    def test_dependent_pair_detected(self):
+        g = build_stage_graph(_cfg(), stage=1)
+        assert not independent_sets(g, ["s1:H1", "s1:E1"])  # vorticity -> pv
+
+
+class TestStepGraph:
+    def test_chained_stages(self):
+        g = build_step_graph(_cfg())
+        assert len(g.compute_nodes()) == 68
+        # Stage 2's tend must depend on stage 1's provisional state.
+        assert nx.has_path(g.graph, "s1:X2", "s2:A1")
+        assert nx.has_path(g.graph, "s1:X3", "s2:B1")
+
+    def test_stage4_reads_accumulator(self):
+        g = build_step_graph(_cfg())
+        # Final diagnostics read h_acc/u_acc produced by s4 accumulation.
+        assert nx.has_path(g.graph, "s4:X4", "s4:G1")
+        assert nx.has_path(g.graph, "s4:X5", "s4:A4")
+
+    def test_accumulator_not_aliased_to_state(self):
+        g = build_step_graph(_cfg())
+        # Stage 2's next-substep state reads the *original* h, not stage 1's
+        # accumulator: no path from s1:X4 into s2:X2.
+        assert not nx.has_path(g.graph, "s1:X4", "s2:X2")
+
+    def test_duplicate_occurrence_rejected(self):
+        g = DataFlowGraph()
+        inst = build_catalog(_cfg())[0]
+        g.add_instance("x", inst)
+        with pytest.raises(ValueError):
+            g.add_instance("x", inst)
+
+
+class TestAnalysis:
+    def test_levels_start_at_zero(self):
+        g = build_stage_graph(_cfg(), stage=1, with_halo=False)
+        levels = topological_levels(g)
+        compute_levels = [levels[n] for n in g.compute_nodes()]
+        assert min(compute_levels) == 0
+
+    def test_profile_partitions_nodes(self):
+        g = build_step_graph(_cfg())
+        prof = concurrency_profile(g)
+        assert sum(len(v) for v in prof.values()) == len(g.compute_nodes())
+
+    def test_critical_path_unit_costs(self):
+        g = build_stage_graph(_cfg(), stage=1, with_halo=False)
+        length, path = critical_path(g)
+        assert length == len(path)
+        # The pv chain is the deepest: ... H1 -> E1 -> F1 -> G1.
+        tail = [p.split(":")[1] for p in path[-3:]]
+        assert tail == ["E1", "F1", "G1"]
+
+    def test_critical_path_weighted(self):
+        g = build_stage_graph(_cfg(), stage=1, with_halo=False)
+        heavy = {n: (1000.0 if n.endswith("B1") else 1.0) for n in g.compute_nodes()}
+        length, path = critical_path(g, heavy)
+        assert any(p.endswith("B1") for p in path)
+        assert length > 1000.0
+
+    def test_total_work(self):
+        g = build_stage_graph(_cfg(), stage=1, with_halo=False)
+        cost = {n: 2.0 for n in g.compute_nodes()}
+        assert total_work(g, cost) == 2.0 * len(g.compute_nodes())
+
+    def test_cycle_detection(self):
+        g = DataFlowGraph()
+        g.graph.add_edge("a", "b")
+        g.graph.add_edge("b", "a")
+        with pytest.raises(ValueError, match="cycle"):
+            g.validate()

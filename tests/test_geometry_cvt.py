@@ -1,0 +1,63 @@
+"""Unit tests of the spherical Lloyd / SCVT relaxation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import (
+    centroidality_residual,
+    icosahedral_points,
+    lloyd_relax,
+)
+
+
+class TestLloyd:
+    def test_reduces_centroidality(self):
+        pts = icosahedral_points(2)
+        before = centroidality_residual(pts)
+        result = lloyd_relax(pts, iterations=5)
+        after = centroidality_residual(result.points)
+        assert after < before
+
+    def test_displacement_monotone_decreasing(self):
+        pts = icosahedral_points(2)
+        result = lloyd_relax(pts, iterations=6)
+        hist = result.displacement_history
+        assert len(hist) == result.iterations
+        # Near a fixed point the sweep is a contraction.
+        assert hist[-1] < hist[0]
+
+    def test_points_stay_on_sphere(self):
+        result = lloyd_relax(icosahedral_points(2), iterations=3)
+        assert np.allclose(np.linalg.norm(result.points, axis=1), 1.0)
+
+    def test_point_count_preserved(self):
+        pts = icosahedral_points(1)
+        result = lloyd_relax(pts, iterations=2)
+        assert result.points.shape == pts.shape
+
+    def test_zero_iterations(self):
+        pts = icosahedral_points(1)
+        result = lloyd_relax(pts, iterations=0)
+        assert result.iterations == 0
+        assert np.allclose(result.points, pts)
+
+    def test_converged_flag(self):
+        # A very loose tolerance converges immediately.
+        result = lloyd_relax(icosahedral_points(1), iterations=5, tol=1.0)
+        assert result.converged
+        assert result.iterations == 1
+
+    def test_deterministic(self):
+        a = lloyd_relax(icosahedral_points(2), iterations=3).points
+        b = lloyd_relax(icosahedral_points(2), iterations=3).points
+        assert np.array_equal(a, b)
+
+    def test_pentagons_nearly_fixed(self):
+        # The 12 pentagon generators are fixed points of the exact Lloyd map
+        # by icosahedral symmetry; the fan-decomposition centroid
+        # approximation breaks the symmetry only at O(h^2).
+        pts = icosahedral_points(2)
+        result = lloyd_relax(pts, iterations=4)
+        drift = np.linalg.norm(result.points[:12] - pts[:12], axis=1)
+        assert drift.max() < 5e-3

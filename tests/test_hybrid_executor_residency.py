@@ -1,0 +1,168 @@
+"""Surgical tests of the executor's variable-residency semantics.
+
+Uses tiny hand-built data-flow graphs (not the full model) so every
+transfer decision is individually observable: when PCIe traffic must appear,
+when the split boundary bands are enough, when halos invalidate device
+copies, and when cached bands are reused.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.graph import DataFlowGraph
+from repro.hybrid.executor import HybridExecutor, Placement
+from repro.machine.counts import MeshCounts
+from repro.machine.interconnect import TransferModel
+from repro.patterns import PatternKind, PointType
+from repro.patterns.catalog import PatternInstance
+
+COUNTS = MeshCounts(nCells=100_000)
+LINK = TransferModel(bandwidth_gbs=6.0, latency_us=10.0)
+
+
+def _inst(label, inputs, outputs, point=PointType.CELL, kind=PatternKind.A):
+    return PatternInstance(
+        label=label,
+        kernel="compute_tend",
+        kind=kind,
+        output_point=point,
+        inputs=tuple(inputs),
+        outputs=tuple(outputs),
+        flops_per_point=10,
+        f64_per_point=10,
+        i32_per_point=2,
+    )
+
+
+def _chain_graph():
+    """in:h -> P -> x -> Q -> y (two stencil nodes in a chain)."""
+    dfg = DataFlowGraph()
+    dfg.add_source("h")
+    dfg.add_instance("P", _inst("P", ["h"], ["ke"]))
+    dfg.add_instance("Q", _inst("Q", ["ke"], ["divergence"]))
+    dfg.validate()
+    return dfg
+
+
+def _times(dfg, cpu=1.0, mic=0.5):
+    return {n: {"cpu": cpu, "mic": mic} for n in dfg.compute_nodes()}
+
+
+def _transfers(timeline):
+    return [t for t in timeline.tasks if t.kind == "transfer"]
+
+
+class TestFullResidency:
+    def test_same_device_chain_no_transfers(self):
+        dfg = _chain_graph()
+        ex = HybridExecutor(dfg, _times(dfg), COUNTS, LINK)
+        tl = ex.run({"P": Placement("mic"), "Q": Placement("mic")})
+        assert _transfers(tl) == []
+        assert tl.makespan == pytest.approx(1.0)  # two mic nodes, 0.5 each
+
+    def test_cross_device_chain_one_transfer(self):
+        dfg = _chain_graph()
+        ex = HybridExecutor(dfg, _times(dfg), COUNTS, LINK)
+        tl = ex.run({"P": Placement("mic"), "Q": Placement("cpu")})
+        xfers = _transfers(tl)
+        assert len(xfers) == 1
+        assert xfers[0].resource == "pcie_down"  # mic -> cpu
+        # Q starts only after the transfer lands.
+        q = next(t for t in tl.tasks if t.name == "Q")
+        assert q.start >= xfers[0].end - 1e-12
+
+    def test_transfer_volume_matches_field_size(self):
+        dfg = _chain_graph()
+        ex = HybridExecutor(dfg, _times(dfg), COUNTS, LINK)
+        tl = ex.run({"P": Placement("cpu"), "Q": Placement("mic")})
+        (xfer,) = _transfers(tl)
+        expected = LINK.time(8.0 * COUNTS.nCells)
+        assert xfer.duration == pytest.approx(expected)
+
+    def test_second_consumer_reuses_copy(self):
+        dfg = DataFlowGraph()
+        dfg.add_source("h")
+        dfg.add_instance("P", _inst("P", ["h"], ["ke"]))
+        dfg.add_instance("Q", _inst("Q", ["ke"], ["divergence"]))
+        dfg.add_instance("R", _inst("R", ["ke"], ["pv_cell"]))
+        dfg.validate()
+        ex = HybridExecutor(dfg, _times(dfg), COUNTS, LINK)
+        tl = ex.run(
+            {"P": Placement("mic"), "Q": Placement("cpu"), "R": Placement("cpu")}
+        )
+        # ke crosses once; R reuses the host copy.
+        assert len(_transfers(tl)) == 1
+
+
+class TestSplitResidency:
+    def test_split_chain_moves_bands_only(self):
+        dfg = _chain_graph()
+        ex = HybridExecutor(dfg, _times(dfg), COUNTS, LINK)
+        tl = ex.run(
+            {
+                "P": Placement("split", cpu_fraction=0.5),
+                "Q": Placement("split", cpu_fraction=0.5),
+            }
+        )
+        xfers = _transfers(tl)
+        assert xfers, "split chains exchange boundary bands"
+        full_field = LINK.time(8.0 * COUNTS.nCells)
+        for t in xfers:
+            assert t.duration < 0.25 * full_field  # bands, not whole fields
+
+    def test_split_then_full_consumer_fetches_complement(self):
+        dfg = _chain_graph()
+        ex = HybridExecutor(dfg, _times(dfg), COUNTS, LINK)
+        tl = ex.run(
+            {
+                "P": Placement("split", cpu_fraction=0.25),
+                "Q": Placement("cpu"),
+            }
+        )
+        # Q on the host must receive mic's 75% share of ke.
+        xfers = [t for t in _transfers(tl) if t.resource == "pcie_down"]
+        assert len(xfers) == 1
+        expected = LINK.time(8.0 * COUNTS.nCells * 0.75)
+        assert xfers[0].duration == pytest.approx(expected)
+
+    def test_split_balances_finish_times(self):
+        dfg = DataFlowGraph()
+        dfg.add_source("h")
+        dfg.add_instance("P", _inst("P", ["h"], ["ke"]))
+        dfg.validate()
+        times = {"P": {"cpu": 2.0, "mic": 1.0}}
+        ex = HybridExecutor(dfg, times, COUNTS, LINK)
+        f = 1.0 / 3.0  # f*2 == (1-f)*1 -> both finish at 2/3
+        tl = ex.run({"P": Placement("split", cpu_fraction=f)})
+        parts = {t.name: t for t in tl.tasks if t.kind == "compute"}
+        assert parts["P[cpu]"].end == pytest.approx(parts["P[mic]"].end, rel=1e-9)
+
+
+class TestHaloResidency:
+    def test_halo_invalidates_device_copy(self):
+        dfg = DataFlowGraph()
+        dfg.add_source("h")
+        dfg.add_instance("P", _inst("P", ["h"], ["ke"]))
+        dfg.add_halo_exchange("mid", ("ke",))
+        dfg.add_instance("Q", _inst("Q", ["ke"], ["divergence"]))
+        dfg.validate()
+        ex = HybridExecutor(dfg, _times(dfg), COUNTS, LINK, halo_time=1e-3)
+        tl = ex.run({"P": Placement("mic"), "Q": Placement("mic")})
+        xfers = _transfers(tl)
+        # ke: mic -> cpu for the exchange, then cpu -> mic for Q.
+        directions = sorted(t.resource for t in xfers)
+        assert directions == ["pcie_down", "pcie_up"]
+        halo = next(t for t in tl.tasks if t.kind == "halo")
+        assert halo.duration == pytest.approx(1e-3)
+
+    def test_halo_free_ride_for_host_consumers(self):
+        dfg = DataFlowGraph()
+        dfg.add_source("h")
+        dfg.add_instance("P", _inst("P", ["h"], ["ke"]))
+        dfg.add_halo_exchange("mid", ("ke",))
+        dfg.add_instance("Q", _inst("Q", ["ke"], ["divergence"]))
+        dfg.validate()
+        ex = HybridExecutor(dfg, _times(dfg), COUNTS, LINK, halo_time=1e-3)
+        tl = ex.run({"P": Placement("cpu"), "Q": Placement("cpu")})
+        assert _transfers(tl) == []  # everything already host-resident

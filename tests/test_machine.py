@@ -1,0 +1,167 @@
+"""Unit tests of the simulated hardware substrate and cost models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    PAPER_CLUSTER,
+    PAPER_NODE,
+    SCATTER_PRONE_KINDS,
+    TABLE_III_MESHES,
+    XEON_E5_2680V2,
+    XEON_PHI_5110P,
+    CostModel,
+    ExecutionProfile,
+    HaloExchangeModel,
+    MeshCounts,
+    TransferModel,
+    cpu_profiles,
+    ladder_speedups,
+    mic_optimization_ladder,
+)
+from repro.patterns import PatternKind, build_catalog
+
+
+class TestSpecs:
+    def test_published_peaks(self):
+        assert XEON_E5_2680V2.peak_gflops == pytest.approx(224.0)
+        assert XEON_PHI_5110P.peak_gflops == pytest.approx(1056.0, rel=0.05)
+
+    def test_table_rows(self):
+        row = XEON_PHI_5110P.table_row()
+        assert row["Cores/Threads"] == "60 / 240"
+        assert "8 double" in row["SIMD width"]
+        assert row["L1/L2/L3 cache"].endswith("-")  # no L3 on KNC
+
+    def test_cluster_capacity(self):
+        assert PAPER_CLUSTER.max_processes == 64
+
+    def test_node_grouping(self):
+        assert PAPER_NODE.cpu.cores == 10
+        assert PAPER_NODE.accelerator.cores == 60
+
+
+class TestMeshCounts:
+    def test_euler_consistency(self):
+        c = MeshCounts(nCells=40962)
+        assert c.nVertices - c.nEdges + c.nCells == 2
+
+    def test_table_iii(self):
+        assert TABLE_III_MESHES["15-km"].nCells == 2621442
+        assert TABLE_III_MESHES["120-km"].nCells == 40962
+
+
+class TestCostModel:
+    @pytest.fixture()
+    def catalog(self):
+        return build_catalog()
+
+    def test_time_scales_linearly(self, catalog):
+        model = CostModel(XEON_E5_2680V2, ExecutionProfile())
+        inst = catalog[0]
+        t1 = model.instance_time(inst, 10_000)
+        t2 = model.instance_time(inst, 20_000)
+        assert t2 == pytest.approx(2.0 * t1, rel=1e-6)
+
+    def test_zero_points_zero_time(self, catalog):
+        model = CostModel(XEON_E5_2680V2, ExecutionProfile())
+        assert model.instance_time(catalog[0], 0) == 0.0
+
+    def test_more_threads_never_slower_when_refactored(self, catalog):
+        inst = catalog[1]  # B1
+        t1 = CostModel(
+            XEON_PHI_5110P, ExecutionProfile(threads=1, refactored=True)
+        ).instance_time(inst, 10**6)
+        t2 = CostModel(
+            XEON_PHI_5110P, ExecutionProfile(threads=236, refactored=True)
+        ).instance_time(inst, 10**6)
+        assert t2 < t1
+
+    def test_scatter_penalty_only_when_not_refactored(self, catalog):
+        scatter_inst = next(i for i in catalog if i.kind in SCATTER_PRONE_KINDS)
+        n = 10**6
+        fast = CostModel(
+            XEON_PHI_5110P, ExecutionProfile(threads=236, refactored=True)
+        ).instance_time(scatter_inst, n)
+        slow = CostModel(
+            XEON_PHI_5110P, ExecutionProfile(threads=236, refactored=False)
+        ).instance_time(scatter_inst, n)
+        assert slow > 3.0 * fast
+
+    def test_no_scatter_penalty_for_gather_patterns(self, catalog):
+        inst = next(i for i in catalog if i.kind is PatternKind.D)
+        n = 10**6
+        a = CostModel(
+            XEON_PHI_5110P, ExecutionProfile(threads=236, refactored=True)
+        ).instance_time(inst, n)
+        b = CostModel(
+            XEON_PHI_5110P, ExecutionProfile(threads=236, refactored=False)
+        ).instance_time(inst, n)
+        assert a == pytest.approx(b)
+
+    def test_serial_has_no_region_overhead(self):
+        model = CostModel(XEON_PHI_5110P, ExecutionProfile(threads=1))
+        assert model.region_overhead_s() == 0.0
+
+    def test_tuned_reduces_region_overhead(self):
+        base = CostModel(XEON_PHI_5110P, ExecutionProfile(threads=236))
+        tuned = CostModel(XEON_PHI_5110P, ExecutionProfile(threads=236, tuned=True))
+        assert tuned.region_overhead_s() < base.region_overhead_s()
+
+    def test_memory_bound_regime(self, catalog):
+        """All stencil patterns are bandwidth-limited on both devices."""
+        for device in (XEON_E5_2680V2, XEON_PHI_5110P):
+            model = CostModel(device, ExecutionProfile(threads=device.max_threads, vectorized=True))
+            for inst in catalog:
+                flop_time = inst.flops_per_point / (model.effective_gflops() * 1e9)
+                byte_time = (8 * inst.f64_per_point + 4 * inst.i32_per_point) / (
+                    model.effective_bandwidth() * 1e9
+                )
+                assert byte_time > flop_time
+
+
+class TestLadder:
+    def test_monotone_and_shaped(self):
+        catalog = build_catalog()
+        ladder = ladder_speedups(catalog, TABLE_III_MESHES["30-km"])
+        speedups = [s for _, _, s in ladder]
+        assert speedups == sorted(speedups)
+        names = [n for n, _, _ in ladder]
+        assert names == ["Baseline", "OpenMP", "Refactoring", "SIMD", "Streaming", "Others"]
+
+    def test_offload_core_reserved(self):
+        rungs = mic_optimization_ladder()
+        assert rungs[-1].profile.threads == 59 * 4
+
+    def test_cpu_profiles(self):
+        profs = cpu_profiles()
+        assert profs["serial"].threads == 1
+        assert profs["openmp"].threads == 10
+        assert profs["serial"].refactored  # serial code has no races
+
+
+class TestInterconnect:
+    def test_transfer_latency_floor(self):
+        link = TransferModel(bandwidth_gbs=6.0, latency_us=10.0)
+        assert link.time(0) == 0.0
+        assert link.time(1) == pytest.approx(10e-6, rel=0.01)
+
+    def test_transfer_bandwidth_regime(self):
+        link = TransferModel(bandwidth_gbs=6.0, latency_us=10.0)
+        one_gb = link.time(1e9)
+        assert one_gb == pytest.approx(1.0 / 6.0, rel=0.01)
+
+    def test_field_bytes(self):
+        link = TransferModel(6.0, 10.0)
+        assert link.field_bytes(1000) == 8000.0
+
+    def test_halo_time_monotone_in_size(self):
+        net = HaloExchangeModel(bandwidth_gbs=5.5, latency_us=3.0)
+        assert net.time(0, 2) == 0.0
+        assert net.time(10_000, 2) > net.time(1_000, 2) > 0.0
+
+    def test_halo_latency_floor(self):
+        net = HaloExchangeModel(bandwidth_gbs=5.5, latency_us=3.0)
+        assert net.time(1, 1) >= 6e-6

@@ -1,0 +1,66 @@
+"""Unit tests of the device memory-footprint model (Section IV-A sizing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import MemoryFootprint, XEON_PHI_5110P, model_footprint
+from repro.machine.counts import TABLE_III_MESHES, MeshCounts
+from repro.swm import SWConfig
+
+
+class TestFootprint:
+    def test_paper_sizing_claim(self):
+        """Paper: the 15-km offload data is 'about 5.3GB', within the Phi's
+        memory.  Our array inventory prices to 5.2 GB — within 2%."""
+        fp = model_footprint(
+            TABLE_III_MESHES["15-km"], SWConfig(dt=1.0, thickness_adv_order=4)
+        )
+        assert fp.total_gb == pytest.approx(5.3, rel=0.05)
+        assert fp.fits(XEON_PHI_5110P.memory_gb)
+
+    def test_scales_linearly_with_cells(self):
+        a = model_footprint(MeshCounts(nCells=100_000))
+        b = model_footprint(MeshCounts(nCells=200_000))
+        assert b.total_bytes == pytest.approx(2.0 * a.total_bytes, rel=0.01)
+
+    def test_mesh_data_dominates(self):
+        """The static mesh is the bulk — which is exactly why keeping it
+        resident (Section IV-A) pays off."""
+        fp = model_footprint(TABLE_III_MESHES["30-km"], SWConfig(dt=1.0))
+        assert fp.mesh_bytes > fp.state_bytes + fp.diagnostic_bytes + fp.work_bytes
+
+    def test_high_order_costs_more(self):
+        counts = TABLE_III_MESHES["30-km"]
+        lo = model_footprint(counts, SWConfig(dt=1.0, thickness_adv_order=2))
+        hi = model_footprint(counts, SWConfig(dt=1.0, thickness_adv_order=4))
+        assert hi.total_bytes > lo.total_bytes
+
+    def test_categories_positive(self):
+        fp = model_footprint(MeshCounts(nCells=1000))
+        assert fp.mesh_bytes > 0
+        assert fp.state_bytes > 0
+        assert fp.diagnostic_bytes > 0
+        assert fp.work_bytes > 0
+        assert fp.total_bytes == pytest.approx(
+            fp.mesh_bytes + fp.state_bytes + fp.diagnostic_bytes + fp.work_bytes
+        )
+
+    def test_does_not_fit_tiny_device(self):
+        fp = model_footprint(TABLE_III_MESHES["15-km"])
+        assert not fp.fits(1.0)
+
+
+class TestScalingPointGain:
+    def test_hybrid_gain(self):
+        from repro.hybrid.stepmodel import LocalProblem
+        from repro.parallel import ScalingPoint
+
+        pt = ScalingPoint(
+            n_procs=1,
+            total_cells=100,
+            local=LocalProblem(owned_cells=100, halo_cells=0),
+            cpu_time=1.0,
+            hybrid_time=0.125,
+        )
+        assert pt.hybrid_gain == pytest.approx(8.0)

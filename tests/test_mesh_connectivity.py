@@ -1,0 +1,156 @@
+"""Unit tests of Voronoi extraction and C-grid connectivity construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import icosahedral_points, lloyd_relax
+from repro.geometry.sphere import spherical_polygon_area
+from repro.mesh import build_connectivity, extract_voronoi
+
+
+@pytest.fixture(scope="module")
+def raw():
+    pts = lloyd_relax(icosahedral_points(2), iterations=3).points
+    return extract_voronoi(pts)
+
+
+@pytest.fixture(scope="module")
+def conn(raw):
+    return build_connectivity(raw)
+
+
+class TestExtractVoronoi:
+    def test_counts(self, raw):
+        assert raw.n_cells == 162
+        assert raw.n_vertices == 2 * 162 - 4
+
+    def test_regions_ccw(self, raw):
+        for ring in raw.regions:
+            assert spherical_polygon_area(raw.vertices[ring]) > 0
+
+    def test_region_sizes(self, raw):
+        sizes = sorted(len(r) for r in raw.regions)
+        assert sizes[0] == 5 and sizes[-1] == 6
+        assert sizes.count(5) == 12
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            extract_voronoi(np.eye(3))
+
+
+class TestEulerAndCounts:
+    def test_euler(self, conn):
+        assert conn.n_vertices - conn.n_edges + conn.n_cells == 2
+
+    def test_edge_count(self, conn):
+        assert conn.n_edges == 3 * conn.n_cells - 6
+
+    def test_max_edges(self, conn):
+        assert conn.max_edges == 6
+
+
+class TestEdgeTables:
+    def test_cells_on_edge_distinct(self, conn):
+        assert np.all(conn.cellsOnEdge[:, 0] != conn.cellsOnEdge[:, 1])
+
+    def test_vertices_on_edge_distinct(self, conn):
+        assert np.all(conn.verticesOnEdge[:, 0] != conn.verticesOnEdge[:, 1])
+
+    def test_every_edge_in_both_cells(self, conn):
+        for e in range(conn.n_edges):
+            for c in conn.cellsOnEdge[e]:
+                row = conn.edgesOnCell[c, : conn.nEdgesOnCell[c]]
+                assert e in row
+
+    def test_edge_vertices_are_cell_corners(self, conn):
+        for e in range(0, conn.n_edges, 7):
+            c0 = conn.cellsOnEdge[e, 0]
+            corners = set(conn.verticesOnCell[c0, : conn.nEdgesOnCell[c0]])
+            assert set(conn.verticesOnEdge[e]) <= corners
+
+
+class TestCellRings:
+    def test_ring_alignment(self, conn):
+        # edgesOnCell[c][j] joins verticesOnCell[c][j] and [j+1].
+        for c in range(0, conn.n_cells, 11):
+            n = int(conn.nEdgesOnCell[c])
+            for j in range(n):
+                e = conn.edgesOnCell[c, j]
+                v_pair = {
+                    conn.verticesOnCell[c, j],
+                    conn.verticesOnCell[c, (j + 1) % n],
+                }
+                assert set(conn.verticesOnEdge[e]) == v_pair
+
+    def test_cells_on_cell_matches_edges(self, conn):
+        for c in range(0, conn.n_cells, 11):
+            for j in range(int(conn.nEdgesOnCell[c])):
+                e = conn.edgesOnCell[c, j]
+                nb = conn.cellsOnCell[c, j]
+                assert set(conn.cellsOnEdge[e]) == {c, nb}
+
+    def test_padding(self, conn):
+        pentagons = np.flatnonzero(conn.nEdgesOnCell == 5)
+        assert np.all(conn.edgesOnCell[pentagons, 5] == -1)
+        assert np.all(conn.verticesOnCell[pentagons, 5] == -1)
+        assert np.all(conn.edgeSignOnCell[pentagons, 5] == 0.0)
+
+
+class TestVertexTables:
+    def test_trivalent(self, conn):
+        assert conn.cellsOnVertex.shape == (conn.n_vertices, 3)
+        assert np.all(conn.cellsOnVertex >= 0)
+        assert np.all(conn.edgesOnVertex >= 0)
+
+    def test_edges_between_consecutive_cells(self, conn):
+        # edgesOnVertex[v][j] separates cellsOnVertex[v][j] and [j+1].
+        for v in range(0, conn.n_vertices, 13):
+            for j in range(3):
+                e = conn.edgesOnVertex[v, j]
+                pair = {
+                    conn.cellsOnVertex[v, j],
+                    conn.cellsOnVertex[v, (j + 1) % 3],
+                }
+                assert set(conn.cellsOnEdge[e]) == pair
+
+    def test_vertex_edges_touch_vertex(self, conn):
+        for v in range(0, conn.n_vertices, 13):
+            for e in conn.edgesOnVertex[v]:
+                assert v in conn.verticesOnEdge[e]
+
+
+class TestSigns:
+    def test_edge_sign_on_cell_convention(self, conn):
+        for c in range(0, conn.n_cells, 17):
+            for j in range(int(conn.nEdgesOnCell[c])):
+                e = conn.edgesOnCell[c, j]
+                expected = 1.0 if conn.cellsOnEdge[e, 0] == c else -1.0
+                assert conn.edgeSignOnCell[c, j] == expected
+
+    def test_edge_sign_on_cell_antisymmetric_across_edge(self, conn):
+        # The two cells of an edge see opposite outward signs.
+        sign_of = {}
+        for c in range(conn.n_cells):
+            for j in range(int(conn.nEdgesOnCell[c])):
+                e = conn.edgesOnCell[c, j]
+                sign_of.setdefault(e, []).append(conn.edgeSignOnCell[c, j])
+        for e, signs in sign_of.items():
+            assert sorted(signs) == [-1.0, 1.0]
+
+    def test_edge_sign_on_vertex_convention(self, conn):
+        for v in range(0, conn.n_vertices, 13):
+            for j in range(3):
+                e = conn.edgesOnVertex[v, j]
+                expected = 1.0 if conn.verticesOnEdge[e, 1] == v else -1.0
+                assert conn.edgeSignOnVertex[v, j] == expected
+
+    def test_edge_sign_on_vertex_antisymmetric(self, conn):
+        sign_of = {}
+        for v in range(conn.n_vertices):
+            for j in range(3):
+                e = conn.edgesOnVertex[v, j]
+                sign_of.setdefault(e, []).append(conn.edgeSignOnVertex[v, j])
+        for e, signs in sign_of.items():
+            assert sorted(signs) == [-1.0, 1.0]

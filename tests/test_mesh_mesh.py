@@ -1,0 +1,149 @@
+"""Unit tests of the Mesh container: build, validate, save/load, cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    MESH_FAMILY,
+    Mesh,
+    assess_quality,
+    cached_mesh,
+    clear_memory_cache,
+    mesh_family_counts,
+)
+
+
+class TestBuild:
+    def test_build_level2(self):
+        mesh = Mesh.build(2, lloyd_iterations=2)
+        mesh.validate()
+        assert mesh.nCells == 162
+
+    def test_build_without_lloyd(self):
+        mesh = Mesh.build(2, lloyd_iterations=0)
+        mesh.validate()
+        assert mesh.info["lloyd_iterations"] == 0
+
+    def test_info_populated(self):
+        mesh = Mesh.build(2, lloyd_iterations=1)
+        assert mesh.info["level"] == 2
+        assert mesh.info["nominal_resolution_km"] > 0
+
+    def test_from_points_custom(self, rng):
+        from repro.geometry import lloyd_relax, normalize
+
+        # Raw random points are too distorted for a C-grid (inverted kites);
+        # a few Lloyd sweeps produce a usable SCVT, which is the documented
+        # requirement of from_points.
+        pts = lloyd_relax(
+            normalize(rng.standard_normal((80, 3))), iterations=30
+        ).points
+        mesh = Mesh.from_points(pts, name="random80")
+        mesh.validate()
+        assert mesh.nCells == 80
+        assert mesh.name == "random80"
+
+    def test_from_points_rejects_distorted(self, rng):
+        from repro.geometry import normalize
+
+        pts = normalize(rng.standard_normal((80, 3)))
+        with pytest.raises(ValueError):
+            Mesh.from_points(pts)
+
+    def test_nominal_resolution(self, mesh3):
+        # 642 cells on Earth: sqrt(4*pi*R^2/642) ~ 890 km.
+        assert 800 < mesh3.nominal_resolution_km < 1000
+
+
+class TestValidate:
+    def test_validate_passes(self, mesh3):
+        mesh3.validate()
+
+    def test_validate_catches_broken_area(self, mesh3):
+        import dataclasses
+
+        bad_metrics = dataclasses.replace(
+            mesh3.metrics, areaCell=mesh3.metrics.areaCell * 1.5
+        )
+        bad = Mesh(
+            connectivity=mesh3.connectivity,
+            metrics=bad_metrics,
+            trisk=mesh3.trisk,
+        )
+        with pytest.raises(ValueError, match="areaCell"):
+            bad.validate()
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, mesh3, tmp_path):
+        path = tmp_path / "mesh.npz"
+        mesh3.save(path)
+        loaded = Mesh.load(path)
+        loaded.validate()
+        assert loaded.nCells == mesh3.nCells
+        assert np.array_equal(loaded.connectivity.edgesOnCell, mesh3.connectivity.edgesOnCell)
+        assert np.array_equal(loaded.trisk.weightsOnEdge, mesh3.trisk.weightsOnEdge)
+        assert np.array_equal(loaded.metrics.areaCell, mesh3.metrics.areaCell)
+
+    def test_loaded_mesh_runs_model(self, mesh3, tmp_path):
+        from repro.swm import ShallowWaterModel, SWConfig, steady_zonal_flow, suggested_dt
+
+        path = tmp_path / "mesh.npz"
+        mesh3.save(path)
+        loaded = Mesh.load(path)
+        case = steady_zonal_flow()
+        dt = suggested_dt(loaded, case, 9.80616)
+        model = ShallowWaterModel(loaded, SWConfig(dt=dt))
+        model.initialize(case)
+        model.run(steps=2)
+
+
+class TestCache:
+    def test_memory_cache_identity(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        a = cached_mesh(2, lloyd_iterations=1)
+        b = cached_mesh(2, lloyd_iterations=1)
+        assert a is b
+        clear_memory_cache()
+
+    def test_disk_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        a = cached_mesh(2, lloyd_iterations=1)
+        clear_memory_cache()
+        b = cached_mesh(2, lloyd_iterations=1)  # from disk this time
+        assert a is not b
+        assert np.array_equal(a.metrics.areaCell, b.metrics.areaCell)
+        clear_memory_cache()
+
+
+class TestFamily:
+    def test_table3_counts(self):
+        counts = mesh_family_counts()
+        assert counts["120km"] == 40962
+        assert counts["60km"] == 163842
+        assert counts["30km"] == 655362
+        assert counts["15km"] == 2621442
+
+    def test_family_levels(self):
+        assert MESH_FAMILY["120km"] == 6
+        assert MESH_FAMILY["15km"] == 9
+
+
+class TestQuality:
+    def test_quality_fields(self, mesh3):
+        q = assess_quality(mesh3)
+        assert q.n_cells == 642
+        assert q.n_pentagons == 12
+        assert q.n_hexagons == 630
+        assert q.n_other == 0
+        assert 1.0 <= q.area_ratio < 2.0
+        assert q.centroidality < 1e-2
+        assert "pent=12" in q.summary()
+
+    def test_quality_skip_centroidality(self, mesh3):
+        q = assess_quality(mesh3, compute_centroidality=False)
+        assert np.isnan(q.centroidality)

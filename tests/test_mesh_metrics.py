@@ -1,0 +1,113 @@
+"""Unit tests of the mesh metric fields (areas, lengths, frames, kites)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import EARTH_RADIUS
+
+
+class TestAreas:
+    def test_cell_areas_partition_sphere(self, mesh3):
+        assert np.isclose(np.sum(mesh3.areaCell), mesh3.sphere_area, rtol=1e-10)
+
+    def test_triangle_areas_partition_sphere(self, mesh3):
+        assert np.isclose(np.sum(mesh3.areaTriangle), mesh3.sphere_area, rtol=1e-10)
+
+    def test_kites_partition_triangles(self, mesh3):
+        kite_sum = np.sum(mesh3.kiteAreasOnVertex, axis=1)
+        assert np.allclose(kite_sum, mesh3.areaTriangle, rtol=1e-9)
+
+    def test_kites_partition_cells(self, mesh3):
+        # Summing each vertex's kite into its cell recovers the cell areas.
+        conn, met = mesh3.connectivity, mesh3.metrics
+        acc = np.zeros(mesh3.nCells)
+        for v in range(mesh3.nVertices):
+            for j in range(3):
+                acc[conn.cellsOnVertex[v, j]] += met.kiteAreasOnVertex[v, j]
+        assert np.allclose(acc, met.areaCell, rtol=1e-9)
+
+    def test_all_positive(self, mesh3):
+        assert np.all(mesh3.areaCell > 0)
+        assert np.all(mesh3.areaTriangle > 0)
+        assert np.all(mesh3.kiteAreasOnVertex > 0)
+
+    def test_diamond_tiling(self, mesh3):
+        diamond = np.sum(mesh3.dcEdge * mesh3.dvEdge) / 2.0
+        assert np.isclose(diamond, mesh3.sphere_area, rtol=2e-2)
+
+
+class TestLengths:
+    def test_positive(self, mesh3):
+        assert np.all(mesh3.dcEdge > 0)
+        assert np.all(mesh3.dvEdge > 0)
+
+    def test_dc_matches_cell_centres(self, mesh3):
+        from repro.geometry import arc_length
+
+        conn, met = mesh3.connectivity, mesh3.metrics
+        e = 37
+        c0, c1 = conn.cellsOnEdge[e]
+        expected = EARTH_RADIUS * arc_length(met.xCell[c0], met.xCell[c1])
+        assert np.isclose(met.dcEdge[e], expected)
+
+    def test_quasi_uniform(self, mesh3):
+        assert mesh3.dcEdge.max() / mesh3.dcEdge.min() < 2.0
+
+
+class TestEdgeFrames:
+    def test_orthonormal(self, mesh3):
+        met = mesh3.metrics
+        assert np.allclose(np.linalg.norm(met.edgeNormal, axis=1), 1.0)
+        assert np.allclose(np.linalg.norm(met.edgeTangent, axis=1), 1.0)
+        assert np.allclose(
+            np.sum(met.edgeNormal * met.edgeTangent, axis=1), 0.0, atol=1e-13
+        )
+
+    def test_tangent_plane(self, mesh3):
+        met = mesh3.metrics
+        assert np.allclose(np.sum(met.edgeNormal * met.xEdge, axis=1), 0.0, atol=1e-13)
+        assert np.allclose(np.sum(met.edgeTangent * met.xEdge, axis=1), 0.0, atol=1e-13)
+
+    def test_right_handed(self, mesh3):
+        met = mesh3.metrics
+        t = np.cross(met.xEdge, met.edgeNormal)
+        assert np.allclose(t, met.edgeTangent, atol=1e-12)
+
+    def test_normal_points_c0_to_c1(self, mesh3):
+        conn, met = mesh3.connectivity, mesh3.metrics
+        chord = met.xCell[conn.cellsOnEdge[:, 1]] - met.xCell[conn.cellsOnEdge[:, 0]]
+        assert np.all(np.sum(chord * met.edgeNormal, axis=1) > 0)
+
+    def test_tangent_points_v0_to_v1(self, mesh3):
+        conn, met = mesh3.connectivity, mesh3.metrics
+        chord = met.xVertex[conn.verticesOnEdge[:, 1]] - met.xVertex[conn.verticesOnEdge[:, 0]]
+        assert np.all(np.sum(chord * met.edgeTangent, axis=1) > 0)
+
+    def test_angle_edge(self, mesh3):
+        from repro.geometry import tangent_basis
+
+        met = mesh3.metrics
+        east, north = tangent_basis(met.xEdge)
+        reconstructed = (
+            np.cos(met.angleEdge)[:, None] * east
+            + np.sin(met.angleEdge)[:, None] * north
+        )
+        assert np.allclose(reconstructed, met.edgeNormal, atol=1e-12)
+
+
+class TestPositions:
+    def test_edge_on_midpoint_arc(self, mesh3):
+        conn, met = mesh3.connectivity, mesh3.metrics
+        mid = met.xCell[conn.cellsOnEdge[:, 0]] + met.xCell[conn.cellsOnEdge[:, 1]]
+        mid /= np.linalg.norm(mid, axis=1, keepdims=True)
+        assert np.allclose(met.xEdge, mid, atol=1e-14)
+
+    def test_lonlat_consistent(self, mesh3):
+        from repro.geometry import lonlat_to_xyz
+
+        met = mesh3.metrics
+        assert np.allclose(lonlat_to_xyz(met.lonCell, met.latCell), met.xCell, atol=1e-12)
+        assert np.allclose(
+            lonlat_to_xyz(met.lonVertex, met.latVertex), met.xVertex, atol=1e-12
+        )

@@ -1,0 +1,70 @@
+"""Unit tests of the ring-rotation (summation-order) perturbation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh import rotate_cell_rings
+from repro.swm.operators import (
+    cell_divergence,
+    cell_kinetic_energy,
+    tangential_velocity,
+)
+
+
+class TestRotation:
+    def test_same_edge_sets(self, mesh3):
+        rot = rotate_cell_rings(mesh3, shift=1)
+        for c in range(0, mesh3.nCells, 31):
+            n = int(mesh3.connectivity.nEdgesOnCell[c])
+            a = set(mesh3.connectivity.edgesOnCell[c, :n].tolist())
+            b = set(rot.connectivity.edgesOnCell[c, :n].tolist())
+            assert a == b
+
+    def test_ring_alignment_preserved(self, mesh3):
+        rot = rotate_cell_rings(mesh3, shift=2)
+        conn = rot.connectivity
+        for c in range(0, rot.nCells, 31):
+            n = int(conn.nEdgesOnCell[c])
+            for j in range(n):
+                e = conn.edgesOnCell[c, j]
+                pair = {conn.verticesOnCell[c, j], conn.verticesOnCell[c, (j + 1) % n]}
+                assert set(conn.verticesOnEdge[e]) == pair
+
+    def test_signs_follow_rotation(self, mesh3):
+        rot = rotate_cell_rings(mesh3, shift=1)
+        conn = rot.connectivity
+        for c in range(0, rot.nCells, 31):
+            for j in range(int(conn.nEdgesOnCell[c])):
+                e = conn.edgesOnCell[c, j]
+                expected = 1.0 if conn.cellsOnEdge[e, 0] == c else -1.0
+                assert conn.edgeSignOnCell[c, j] == expected
+
+    def test_divergence_roundoff_equivalent(self, mesh3, edge_field):
+        rot = rotate_cell_rings(mesh3, shift=1)
+        a = cell_divergence(mesh3, edge_field)
+        b = cell_divergence(rot, edge_field)
+        assert not np.array_equal(a, b)  # order really changed somewhere
+        np.testing.assert_allclose(a, b, rtol=1e-12, atol=1e-18)
+
+    def test_ke_roundoff_equivalent(self, mesh3, edge_field):
+        rot = rotate_cell_rings(mesh3, shift=1)
+        a = cell_kinetic_energy(mesh3, edge_field)
+        b = cell_kinetic_energy(rot, edge_field)
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_trisk_roundoff_equivalent(self, mesh3, edge_field):
+        rot = rotate_cell_rings(mesh3, shift=1)
+        a = tangential_velocity(mesh3, edge_field)
+        b = tangential_velocity(rot, edge_field)
+        np.testing.assert_allclose(a, b, rtol=1e-10, atol=1e-14)
+
+    def test_shift_zero_mod_ring(self, mesh3):
+        # A shift that is a multiple of every ring length is the identity on
+        # hexagons; pentagons rotate, so arrays differ but sets match.
+        rot = rotate_cell_rings(mesh3, shift=6)
+        hexes = np.flatnonzero(mesh3.connectivity.nEdgesOnCell == 6)
+        assert np.array_equal(
+            rot.connectivity.edgesOnCell[hexes],
+            mesh3.connectivity.edgesOnCell[hexes],
+        )

@@ -1,0 +1,114 @@
+"""Unit tests of the TRiSK tangential-reconstruction weights."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="module")
+def gathered(mesh3):
+    """0-safe gather view of edgesOnEdge used by several tests."""
+    eoe = mesh3.edgesOnEdge.copy()
+    mask = eoe >= 0
+    eoe[~mask] = 0
+    return eoe, mask
+
+
+class TestStructure:
+    def test_counts(self, mesh3):
+        conn, tri = mesh3.connectivity, mesh3.trisk
+        n0 = conn.nEdgesOnCell[conn.cellsOnEdge[:, 0]]
+        n1 = conn.nEdgesOnCell[conn.cellsOnEdge[:, 1]]
+        assert np.array_equal(tri.nEdgesOnEdge, n0 + n1 - 2)
+
+    def test_no_self_reference(self, mesh3):
+        tri = mesh3.trisk
+        for e in range(0, mesh3.nEdges, 29):
+            row = tri.edgesOnEdge[e, : tri.nEdgesOnEdge[e]]
+            assert e not in row
+
+    def test_participants_belong_to_adjacent_cells(self, mesh3):
+        conn, tri = mesh3.connectivity, mesh3.trisk
+        for e in range(0, mesh3.nEdges, 29):
+            allowed = set()
+            for c in conn.cellsOnEdge[e]:
+                allowed |= set(conn.edgesOnCell[c, : conn.nEdgesOnCell[c]])
+            row = set(tri.edgesOnEdge[e, : tri.nEdgesOnEdge[e]].tolist())
+            assert row <= allowed
+
+    def test_padding_zero_weights(self, mesh3):
+        tri = mesh3.trisk
+        for e in range(0, mesh3.nEdges, 29):
+            n = int(tri.nEdgesOnEdge[e])
+            assert np.all(tri.weightsOnEdge[e, n:] == 0.0)
+            assert np.all(tri.edgesOnEdge[e, n:] == -1)
+
+    def test_weights_bounded(self, mesh3):
+        # |dimensionless part| <= 1/2, and dv/dc is O(1) on quasi-uniform
+        # meshes, so weights stay below ~1.
+        assert np.all(np.abs(mesh3.weightsOnEdge) < 1.0)
+
+
+class TestThuburnProperties:
+    def test_antisymmetry(self, mesh3):
+        """w~(e,e') = -w~(e',e) (the energy-neutrality structure)."""
+        tri, met = mesh3.trisk, mesh3.metrics
+        table: dict[tuple[int, int], float] = {}
+        for e in range(mesh3.nEdges):
+            for j in range(int(tri.nEdgesOnEdge[e])):
+                ep = int(tri.edgesOnEdge[e, j])
+                w = tri.weightsOnEdge[e, j] * met.dcEdge[e] / met.dvEdge[ep]
+                table[(e, ep)] = table.get((e, ep), 0.0) + w
+        worst = max(abs(w + table.get((ep, e), 0.0)) for (e, ep), w in table.items())
+        assert worst < 1e-12
+
+    @pytest.mark.parametrize("axis", [(0, 0, 1), (1, 0, 0), (0.3, -0.5, 0.8)])
+    def test_uniform_flow_reconstruction(self, mesh4, axis):
+        """Solid-body flow: reconstructed v_e ~ analytic tangential component."""
+        from repro.geometry import normalize
+
+        met = mesh4.metrics
+        w = normalize(np.asarray(axis, dtype=float))
+        vel = np.cross(w, met.xEdge)
+        u = np.sum(vel * met.edgeNormal, axis=1)
+        v_true = np.sum(vel * met.edgeTangent, axis=1)
+
+        tri = mesh4.trisk
+        eoe = np.where(tri.edgesOnEdge >= 0, tri.edgesOnEdge, 0)
+        v_rec = np.sum(tri.weightsOnEdge * u[eoe], axis=1)
+        scale = np.abs(v_true).max()
+        assert np.abs(v_rec - v_true).max() / scale < 0.05
+        assert np.sqrt(np.mean((v_rec - v_true) ** 2)) / scale < 0.01
+
+    def test_perpendicular_divergence_consistency(self, mesh3, rng):
+        """Thuburn's defining constraint: the dual-mesh divergence of the
+        reconstructed perpendicular flux equals the kite-area-weighted
+        average of the primal divergences, for arbitrary u."""
+        conn, met, tri = mesh3.connectivity, mesh3.metrics, mesh3.trisk
+        u = rng.standard_normal(mesh3.nEdges)
+
+        # G_e = v_e * dc_e: flux across the dual edge, along +t_e.
+        eoe = np.where(tri.edgesOnEdge >= 0, tri.edgesOnEdge, 0)
+        v = np.sum(tri.weightsOnEdge * u[eoe], axis=1)
+        G = v * met.dcEdge
+
+        # Primal cell outflux: sum(sign * u * dv).
+        eoc = np.where(conn.edgesOnCell >= 0, conn.edgesOnCell, 0)
+        outflux = np.sum(
+            conn.edgeSignOnCell * u[eoc] * met.dvEdge[eoc], axis=1
+        )
+
+        # Dual-cell outflux around each vertex: t_e points from v0 to v1, so
+        # outward from the triangle around v0 means +G, around v1 means -G.
+        lhs = np.zeros(mesh3.nVertices)
+        np.add.at(lhs, conn.verticesOnEdge[:, 0], G)
+        np.subtract.at(lhs, conn.verticesOnEdge[:, 1], G)
+
+        rhs = np.sum(
+            met.kiteAreasOnVertex
+            * (outflux / met.areaCell)[conn.cellsOnVertex],
+            axis=1,
+        )
+        scale = np.abs(rhs).max()
+        assert np.abs(lhs - rhs).max() / scale < 1e-10

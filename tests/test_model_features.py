@@ -1,0 +1,157 @@
+"""Tests of the model-level extensions: rotated TC2, del4, checkpoints, DOT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import GRAVITY
+from repro.swm import (
+    ShallowWaterModel,
+    SWConfig,
+    isolated_mountain,
+    steady_zonal_flow,
+    suggested_dt,
+)
+
+
+class TestRotatedTC2:
+    @pytest.mark.parametrize("alpha", [np.pi / 4, np.pi / 2])
+    def test_steady_at_any_orientation(self, mesh3, alpha):
+        """The rotated flow (over the poles at alpha = pi/2) stays steady —
+        SCVT meshes have no pole singularity."""
+        case = steady_zonal_flow(alpha=alpha)
+        model = ShallowWaterModel(
+            mesh3, SWConfig(dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.6))
+        )
+        model.initialize(case)
+        res = model.run(days=1.0)
+        assert model.exact_error().l2 < 2e-3
+        assert res.mass_drift() < 1e-13
+
+    def test_rotated_coriolis_field(self, mesh3):
+        case = steady_zonal_flow(alpha=np.pi / 2)
+        f = case.coriolis(mesh3.metrics.xVertex)
+        # f follows the rotated axis (-1, 0, 0): extreme on the equator at
+        # lon = pi, zero at the geographic poles.
+        assert abs(f[np.argmax(np.abs(mesh3.metrics.xVertex[:, 0]))]) > abs(
+            f[np.argmax(mesh3.metrics.xVertex[:, 2])]
+        )
+
+    def test_alpha_zero_uses_standard_f(self):
+        assert steady_zonal_flow(alpha=0.0).coriolis is None
+
+    def test_case_name_distinguishes_alpha(self):
+        assert steady_zonal_flow(alpha=0.5).name != steady_zonal_flow().name
+
+
+class TestHyperviscosity:
+    def test_validated(self):
+        with pytest.raises(ValueError):
+            SWConfig(dt=1.0, hyperviscosity=-1.0)
+
+    def test_scale_selective_damping(self, mesh3, rng):
+        """del4 damps grid-scale noise while barely touching the resolved
+        flow — the property del2 lacks."""
+        case = steady_zonal_flow()
+        dt = suggested_dt(mesh3, case, GRAVITY, cfl=0.4)
+        noise = 0.5 * rng.standard_normal(mesh3.nEdges)
+        dx4 = float(np.mean(mesh3.dcEdge)) ** 4
+
+        def run(nu4):
+            model = ShallowWaterModel(
+                mesh3, SWConfig(dt=dt, hyperviscosity=nu4)
+            )
+            state = model.initialize(case)
+            state.u += noise
+            model.diagnostics = model.integrator.diagnostics_for(state)
+            model.run(steps=8)
+            return model
+
+        plain = run(0.0)
+        damped = run(0.002 * dx4 / dt)
+        # The noisy run with del4 ends closer to the exact steady state.
+        assert damped.exact_error().l2 < plain.exact_error().l2
+
+    def test_no_effect_on_smooth_steady_state(self, mesh3):
+        case = steady_zonal_flow()
+        dt = suggested_dt(mesh3, case, GRAVITY, cfl=0.4)
+        dx4 = float(np.mean(mesh3.dcEdge)) ** 4
+        errs = {}
+        for nu4 in (0.0, 0.001 * dx4 / dt):
+            model = ShallowWaterModel(mesh3, SWConfig(dt=dt, hyperviscosity=nu4))
+            model.initialize(case)
+            model.run(steps=8)
+            errs[nu4] = model.exact_error().l2
+        vals = list(errs.values())
+        assert vals[1] < 1.5 * vals[0]  # resolved flow barely affected
+
+
+class TestCheckpointRestart:
+    def test_bitwise_continuation(self, mesh3, tmp_path):
+        case = isolated_mountain()
+        cfg = SWConfig(dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.6))
+        full = ShallowWaterModel(mesh3, cfg)
+        full.initialize(case)
+        full.run(steps=8)
+
+        half = ShallowWaterModel(mesh3, cfg)
+        half.initialize(case)
+        half.run(steps=4)
+        path = tmp_path / "restart.npz"
+        half.save_checkpoint(path)
+
+        resumed = ShallowWaterModel.from_checkpoint(mesh3, path)
+        resumed.run(steps=4)
+        assert np.array_equal(resumed.state.h, full.state.h)
+        assert np.array_equal(resumed.state.u, full.state.u)
+
+    def test_config_roundtrip(self, mesh3, tmp_path):
+        case = steady_zonal_flow()
+        cfg = SWConfig(
+            dt=suggested_dt(mesh3, case, GRAVITY),
+            thickness_adv_order=4,
+            apvm_upwinding=0.25,
+            viscosity=100.0,
+        )
+        model = ShallowWaterModel(mesh3, cfg)
+        model.initialize(case)
+        path = tmp_path / "restart.npz"
+        model.save_checkpoint(path)
+        restored = ShallowWaterModel.from_checkpoint(mesh3, path)
+        assert restored.config == cfg
+
+    def test_checkpoint_requires_state(self, mesh3, tmp_path):
+        model = ShallowWaterModel(mesh3, SWConfig(dt=100.0))
+        with pytest.raises(RuntimeError):
+            model.save_checkpoint(tmp_path / "x.npz")
+
+
+class TestDotExport:
+    def test_valid_dot_structure(self):
+        from repro.dataflow import build_stage_graph
+
+        dfg = build_stage_graph(SWConfig(dt=1.0, thickness_adv_order=4), stage=1)
+        dot = dfg.to_dot()
+        assert dot.startswith("digraph dataflow {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("subgraph cluster_") == 5  # 5 kernels in stage 1
+        assert '"s1:B1"' in dot
+        assert "Exchange halo" in dot
+        assert "->" in dot
+
+    def test_edges_carry_variables(self):
+        from repro.dataflow import build_stage_graph
+
+        dfg = build_stage_graph(SWConfig(dt=1.0), stage=1, with_halo=False)
+        dot = dfg.to_dot()
+        assert 'label="tend_h"' in dot
+
+    def test_sources_optional(self):
+        from repro.dataflow import build_stage_graph
+
+        dfg = build_stage_graph(SWConfig(dt=1.0), stage=1, with_halo=False)
+        with_src = dfg.to_dot(include_sources=True)
+        without = dfg.to_dot(include_sources=False)
+        assert len(with_src) > len(without)
+        assert "shape=plaintext" in with_src

@@ -1,0 +1,125 @@
+"""Tests of the history writer and the split-fraction autotuner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import GRAVITY
+from repro.swm import (
+    HistoryWriter,
+    ShallowWaterModel,
+    SWConfig,
+    load_history,
+    steady_zonal_flow,
+    suggested_dt,
+)
+
+
+@pytest.fixture()
+def model(mesh3):
+    case = steady_zonal_flow()
+    m = ShallowWaterModel(mesh3, SWConfig(dt=suggested_dt(mesh3, case, GRAVITY)))
+    m.initialize(case)
+    return m
+
+
+class TestHistoryWriter:
+    def test_records_at_interval(self, mesh3, model):
+        writer = HistoryWriter(mesh3, model.config, fields=("h", "ke"), interval=2)
+        model.run(steps=5, callback=writer)
+        hist = writer.history()
+        assert hist.n_snapshots == 2  # steps 2 and 4
+        assert hist.fields["h"].shape == (2, mesh3.nCells)
+        assert np.allclose(hist.times, [2, 4] * np.array(model.config.dt))
+
+    def test_snapshots_are_copies(self, mesh3, model):
+        writer = HistoryWriter(mesh3, model.config, fields=("h",), interval=1)
+        model.run(steps=2, callback=writer)
+        hist = writer.history()
+        assert not np.array_equal(hist.fields["h"][0], hist.fields["h"][1])
+
+    def test_reconstruction_fields(self, mesh3, model):
+        writer = HistoryWriter(
+            mesh3, model.config, fields=("uReconstructZonal",), interval=1
+        )
+        model.run(steps=1, callback=writer)
+        hist = writer.history()
+        # TC2: ~zonal jet, peak near the 38.6 m/s analytic maximum.
+        assert 30.0 < np.abs(hist.fields["uReconstructZonal"]).max() < 45.0
+
+    def test_save_load_roundtrip(self, mesh3, model, tmp_path):
+        writer = HistoryWriter(mesh3, model.config, fields=("h", "u"), interval=1)
+        model.run(steps=3, callback=writer)
+        path = tmp_path / "history.npz"
+        writer.save(path)
+        loaded = load_history(path)
+        assert loaded.n_snapshots == 3
+        np.testing.assert_array_equal(loaded.fields["u"], writer.history().fields["u"])
+
+    def test_series_access(self, mesh3, model):
+        writer = HistoryWriter(mesh3, model.config, fields=("h",), interval=1)
+        model.run(steps=4, callback=writer)
+        series = writer.history().series("h", 10)
+        assert series.shape == (4,)
+
+    def test_unknown_field_rejected(self, mesh3, model):
+        with pytest.raises(ValueError):
+            HistoryWriter(mesh3, model.config, fields=("entropy",))
+
+    def test_bad_interval_rejected(self, mesh3, model):
+        with pytest.raises(ValueError):
+            HistoryWriter(mesh3, model.config, interval=0)
+
+
+class TestAutotune:
+    @pytest.fixture(scope="class")
+    def tuning_setup(self):
+        from repro.dataflow import build_step_graph
+        from repro.hybrid import HybridExecutor
+        from repro.hybrid.schedule import node_times
+        from repro.hybrid.stepmodel import (
+            _cpu_parallel_model,
+            _mic_model,
+            _perf_config,
+        )
+        from repro.machine import TransferModel
+        from repro.machine.counts import MeshCounts
+        from repro.machine.spec import PAPER_NODE
+
+        counts = MeshCounts(nCells=163842)
+        dfg = build_step_graph(_perf_config())
+        times = node_times(dfg, counts, _cpu_parallel_model(), _mic_model())
+        executor = HybridExecutor(
+            dfg, times, counts,
+            TransferModel(PAPER_NODE.pcie_bw_gbs, PAPER_NODE.pcie_latency_us),
+        )
+        return dfg, times, executor
+
+    def test_finds_near_balanced_optimum(self, tuning_setup):
+        from repro.hybrid import tune_split_fraction
+        from repro.hybrid.schedule import balanced_fraction
+
+        dfg, times, executor = tuning_setup
+        result = tune_split_fraction(dfg, times, executor)
+        f_star = balanced_fraction(dfg, times)
+        # The tuned fraction sits near the analytic work balance.
+        assert abs(result.fraction - f_star) < 0.2
+        # And it is the argmin of its own history.
+        assert result.makespan == min(m for _, m in result.history)
+
+    def test_tuned_beats_extremes(self, tuning_setup):
+        from repro.hybrid import tune_split_fraction
+
+        dfg, times, executor = tuning_setup
+        result = tune_split_fraction(dfg, times, executor)
+        extremes = {f: m for f, m in result.history if f in (0.05, 0.95)}
+        for m in extremes.values():
+            assert result.makespan <= m
+
+    def test_history_complete(self, tuning_setup):
+        from repro.hybrid import tune_split_fraction
+
+        dfg, times, executor = tuning_setup
+        result = tune_split_fraction(dfg, times, executor, candidates=5)
+        assert result.evaluations == 6  # 5 grid points + balanced seed

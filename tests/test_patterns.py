@@ -1,0 +1,141 @@
+"""Unit tests of the pattern taxonomy and the Table I catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.counts import MeshCounts
+from repro.patterns import (
+    KERNELS,
+    STENCIL_PATTERNS,
+    PatternKind,
+    PointType,
+    build_catalog,
+    classify,
+    instances_by_kernel,
+    point_of,
+)
+from repro.swm import SWConfig
+
+
+class TestPointType:
+    def test_counts(self):
+        counts = MeshCounts(nCells=100)
+        assert PointType.CELL.count(counts) == 100
+        assert PointType.EDGE.count(counts) == 294
+        assert PointType.VERTEX.count(counts) == 196
+
+
+class TestPatternKind:
+    def test_eight_kinds(self):
+        assert len(PatternKind) == 8
+        assert {k.letter for k in PatternKind} == set("ABCDEFGH")
+
+    def test_from_types(self):
+        assert PatternKind.from_types(PointType.CELL, PointType.EDGE) is PatternKind.A
+        assert PatternKind.from_types(PointType.EDGE, PointType.EDGE) is PatternKind.B
+        assert PatternKind.from_types(PointType.VERTEX, PointType.EDGE) is PatternKind.H
+
+    def test_from_types_rejects_unused(self):
+        with pytest.raises(ValueError):
+            PatternKind.from_types(PointType.VERTEX, PointType.VERTEX)
+
+    def test_all_directed_pairs_distinct(self):
+        pairs = {(k.output, k.input) for k in PatternKind}
+        assert len(pairs) == 8
+
+    def test_canonical_fan_in(self):
+        assert STENCIL_PATTERNS[PatternKind.A].fan_in == 6
+        assert STENCIL_PATTERNS[PatternKind.B].fan_in == 10
+        assert STENCIL_PATTERNS[PatternKind.E].fan_in == 3
+
+
+class TestClassify:
+    def test_local(self):
+        assert classify(("tend_u",), ("tend_u",), neighborhood=False) is None
+
+    def test_cell_from_edges(self):
+        assert classify(("tend_h",), ("provis_u", "h_edge")) is PatternKind.A
+
+    def test_trisk(self):
+        assert classify(("v",), ("provis_u",)) is PatternKind.B
+
+    def test_same_type_cell_stencil(self):
+        assert classify(("d2fdx2_cell1",), ("provis_h",)) is PatternKind.C
+
+    def test_point_local_excluded(self):
+        got = classify(
+            ("pv_edge",),
+            ("pv_vertex", "pv_cell", "provis_u", "v"),
+            point_local=("provis_u", "v"),
+        )
+        assert got is PatternKind.G
+
+    def test_unknown_variable(self):
+        with pytest.raises(KeyError):
+            point_of("no_such_var")
+
+    def test_mixed_output_types_rejected(self):
+        with pytest.raises(ValueError):
+            classify(("tend_h", "tend_u"), ("provis_u",))
+
+    def test_non_neighborhood_is_local(self):
+        assert classify(("provis_h",), ("h", "tend_h"), neighborhood=False) is None
+
+
+class TestCatalog:
+    def test_default_full_inventory(self):
+        catalog = build_catalog()
+        labels = [i.label for i in catalog]
+        assert len(labels) == len(set(labels))
+        kinds = {i.kind for i in catalog if i.kind is not None}
+        assert kinds == set(PatternKind)
+
+    def test_kernel_grouping_order(self):
+        grouped = instances_by_kernel(build_catalog())
+        assert list(grouped) == list(KERNELS)
+        assert [i.label for i in grouped["compute_tend"]] == ["A1", "B1"]
+        assert [i.label for i in grouped["mpas_reconstruct"]] == ["A4", "X6"]
+
+    def test_second_order_drops_c_patterns(self):
+        catalog = build_catalog(SWConfig(dt=1.0, thickness_adv_order=2))
+        labels = {i.label for i in catalog}
+        assert "C1" not in labels and "C2" not in labels
+        d1 = next(i for i in catalog if i.label == "D1")
+        assert d1.inputs == ("provis_h",)
+
+    def test_third_order_adds_upwinding_input(self):
+        catalog = build_catalog(SWConfig(dt=1.0, thickness_adv_order=3))
+        d1 = next(i for i in catalog if i.label == "D1")
+        assert "provis_u" in d1.inputs
+
+    def test_viscosity_extends_b1(self):
+        catalog = build_catalog(SWConfig(dt=1.0, viscosity=1e4))
+        b1 = next(i for i in catalog if i.label == "B1")
+        assert "divergence" in b1.inputs and "vorticity" in b1.inputs
+
+    def test_apvm_off_shrinks_g1(self):
+        catalog = build_catalog(SWConfig(dt=1.0, apvm_upwinding=0.0))
+        g1 = next(i for i in catalog if i.label == "G1")
+        assert g1.inputs == ("pv_vertex",)
+
+    def test_costs_positive(self):
+        for inst in build_catalog():
+            assert inst.flops_per_point > 0
+            assert inst.f64_per_point > 0
+            assert inst.i32_per_point >= 0
+
+    def test_mesh_scaling(self):
+        counts = MeshCounts(nCells=1000)
+        for inst in build_catalog():
+            assert inst.flops(counts) == inst.flops_per_point * inst.n_points(counts)
+            assert inst.bytes_moved(counts) > 0
+
+    def test_splittable_set(self):
+        catalog = build_catalog()
+        splittable = {i.label for i in catalog if i.splittable}
+        assert splittable == {"B1", "B2", "A2", "A3", "C1", "C2"}
+
+    def test_str_rendering(self):
+        inst = build_catalog()[0]
+        assert "A1" in str(inst) and "compute_tend" in str(inst)

@@ -1,0 +1,101 @@
+"""Unit tests of the high-order thickness advection (d2fdx2 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.swm.advection import (
+    advection_coefficients,
+    d2fdx2_on_edges,
+    h_edge_high_order,
+)
+from repro.swm.operators import cell_to_edge_mean
+
+
+class TestCoefficients:
+    def test_cached(self, mesh3):
+        assert advection_coefficients(mesh3) is advection_coefficients(mesh3)
+
+    def test_shapes(self, mesh3):
+        coeffs = advection_coefficients(mesh3)
+        assert coeffs.cells.shape == coeffs.weights.shape
+        assert coeffs.cells.shape[0] == mesh3.nEdges
+        assert coeffs.cells.shape[1] == 2
+
+    def test_constant_field_zero_second_derivative(self, mesh3):
+        d2_1, d2_2 = d2fdx2_on_edges(mesh3, np.full(mesh3.nCells, 3.25))
+        assert np.abs(d2_1).max() < 1e-18
+        assert np.abs(d2_2).max() < 1e-18
+
+    def test_linear_field_small_second_derivative(self, mesh4):
+        # h linear in the tangent coordinates ~ a linear function of z on
+        # the sphere; its second derivative is O(curvature), small compared
+        # to the quadratic response.
+        h = mesh4.metrics.xCell[:, 2] * 1000.0
+        d2_1, _ = d2fdx2_on_edges(mesh4, h)
+        # A genuinely quadratic field of the same scale for comparison:
+        hq = (mesh4.metrics.xCell[:, 2] * mesh4.radius) ** 2 / mesh4.radius * 1e-3
+        d2q_1, _ = d2fdx2_on_edges(mesh4, hq)
+        assert np.median(np.abs(d2_1)) < 0.3 * np.median(np.abs(d2q_1))
+
+    def test_quadratic_field_recovered_exactly(self, mesh3):
+        """The fit is exact for a field quadratic in a cell's own tangent
+        coordinates: d2fdx2 = 2 * (n . e1)^2 for h = (xy . e1)^2."""
+        from repro.geometry import tangent_basis, tangent_plane_coords
+
+        met = mesh3.metrics
+        conn = mesh3.connectivity
+        for c in (0, 100, 400):
+            # Global field defined in cell c's frame, in metres.
+            xy = tangent_plane_coords(met.xCell[c], met.xCell) * mesh3.radius
+            h = xy[:, 0] ** 2  # e1 = local east direction of the frame
+            d2_1, d2_2 = d2fdx2_on_edges(mesh3, h)
+            east, north = tangent_basis(met.xCell[c])
+            for j in range(int(conn.nEdgesOnCell[c])):
+                e = int(conn.edgesOnCell[c, j])
+                side = 0 if conn.cellsOnEdge[e, 0] == c else 1
+                n3 = met.edgeNormal[e]
+                nx, ny = float(n3 @ east), float(n3 @ north)
+                nrm = np.hypot(nx, ny)
+                expected = 2.0 * (nx / nrm) ** 2
+                got = (d2_1 if side == 0 else d2_2)[e]
+                assert got == pytest.approx(expected, rel=1e-6)
+
+
+class TestHEdgeOrders:
+    def test_order2_is_mean(self, mesh3, cell_field, edge_field):
+        he = h_edge_high_order(mesh3, cell_field, edge_field, order=2)
+        np.testing.assert_array_equal(he, cell_to_edge_mean(mesh3, cell_field))
+
+    def test_order4_equals_mean_for_constant(self, mesh3, edge_field):
+        h = np.full(mesh3.nCells, 5.5)
+        he = h_edge_high_order(mesh3, h, edge_field, order=4)
+        np.testing.assert_allclose(he, 5.5, rtol=1e-12)
+
+    def test_order3_upwind_direction(self, mesh3, cell_field):
+        h = np.abs(cell_field) + 10.0
+        up = h_edge_high_order(mesh3, h, np.ones(mesh3.nEdges), order=3)
+        down = h_edge_high_order(mesh3, h, -np.ones(mesh3.nEdges), order=3)
+        center = h_edge_high_order(mesh3, h, np.ones(mesh3.nEdges), order=4)
+        # Up/down differ and straddle the centered value.
+        assert not np.allclose(up, down)
+        np.testing.assert_allclose(0.5 * (up + down), center, rtol=1e-12)
+
+    def test_invalid_order(self, mesh3, cell_field, edge_field):
+        with pytest.raises(ValueError):
+            h_edge_high_order(mesh3, cell_field, edge_field, order=5)
+
+    def test_order4_more_accurate_on_smooth_field(self, mesh4):
+        """4th order beats 2nd order against a globally smooth field."""
+        met = mesh4.metrics
+
+        def smooth(p):  # smooth on the sphere (Cartesian polynomial)
+            return p[:, 0] * p[:, 1] + 0.7 * p[:, 2] ** 3 - 0.3 * p[:, 0] ** 2
+
+        h_exact_edge = smooth(met.xEdge)
+        h_cell = smooth(met.xCell)
+        u = np.zeros(mesh4.nEdges)
+        err2 = h_edge_high_order(mesh4, h_cell, u, order=2) - h_exact_edge
+        err4 = h_edge_high_order(mesh4, h_cell, u, order=4) - h_exact_edge
+        assert np.sqrt(np.mean(err4**2)) < 0.6 * np.sqrt(np.mean(err2**2))

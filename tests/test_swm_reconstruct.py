@@ -1,0 +1,77 @@
+"""Unit tests of the mpas_reconstruct velocity reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import normalize, tangent_basis
+from repro.swm import mpas_reconstruct, reconstruction_matrices
+
+
+def _edge_normals_of(mesh, velocity_at_edges):
+    return np.sum(velocity_at_edges * mesh.metrics.edgeNormal, axis=1)
+
+
+class TestReconstruct:
+    def test_matrices_cached(self, mesh3):
+        assert reconstruction_matrices(mesh3) is reconstruction_matrices(mesh3)
+
+    def test_zero_field(self, mesh3):
+        rec = mpas_reconstruct(mesh3, np.zeros(mesh3.nEdges))
+        assert np.abs(rec.uReconstructX).max() == 0.0
+        assert np.abs(rec.uReconstructZonal).max() == 0.0
+
+    @pytest.mark.parametrize("axis", [(0, 0, 1), (0.5, -0.3, 0.8)])
+    def test_solid_body_rotation(self, mesh4, axis):
+        w = normalize(np.asarray(axis, dtype=float))
+        vel_edge = np.cross(w, mesh4.metrics.xEdge)
+        u = _edge_normals_of(mesh4, vel_edge)
+        rec = mpas_reconstruct(mesh4, u)
+        vel_cell = np.cross(w, mesh4.metrics.xCell)
+        U = np.stack([rec.uReconstructX, rec.uReconstructY, rec.uReconstructZ], axis=1)
+        err = np.linalg.norm(U - vel_cell, axis=1).max()
+        assert err < 0.02 * np.linalg.norm(vel_cell, axis=1).max()
+
+    def test_result_tangent_to_sphere(self, mesh3, edge_field):
+        rec = mpas_reconstruct(mesh3, edge_field)
+        U = np.stack([rec.uReconstructX, rec.uReconstructY, rec.uReconstructZ], axis=1)
+        radial = np.abs(np.sum(U * mesh3.metrics.xCell, axis=1))
+        assert radial.max() < 1e-10 * max(np.linalg.norm(U, axis=1).max(), 1e-30)
+
+    def test_zonal_meridional_decomposition(self, mesh3, edge_field):
+        rec = mpas_reconstruct(mesh3, edge_field)
+        east, north = tangent_basis(mesh3.metrics.xCell)
+        U = np.stack([rec.uReconstructX, rec.uReconstructY, rec.uReconstructZ], axis=1)
+        np.testing.assert_allclose(
+            rec.uReconstructZonal, np.sum(U * east, axis=1), rtol=1e-12, atol=1e-15
+        )
+        np.testing.assert_allclose(
+            rec.uReconstructMeridional, np.sum(U * north, axis=1), rtol=1e-12, atol=1e-15
+        )
+
+    def test_zonal_flow_has_no_meridional_component(self, mesh4):
+        vel_edge = np.cross([0.0, 0.0, 1.0], mesh4.metrics.xEdge)
+        u = _edge_normals_of(mesh4, vel_edge)
+        rec = mpas_reconstruct(mesh4, u)
+        assert (
+            np.abs(rec.uReconstructMeridional).max()
+            < 0.02 * np.abs(rec.uReconstructZonal).max()
+        )
+
+    def test_least_squares_optimality(self, mesh3, rng):
+        """The reconstruction minimizes the normal-component misfit: its
+        residual never exceeds the misfit of a random tangent vector."""
+        u = rng.standard_normal(mesh3.nEdges)
+        rec = mpas_reconstruct(mesh3, u)
+        U = np.stack([rec.uReconstructX, rec.uReconstructY, rec.uReconstructZ], axis=1)
+        conn, met = mesh3.connectivity, mesh3.metrics
+        for c in (3, 77, 345):
+            edges = conn.edgesOnCell[c, : conn.nEdgesOnCell[c]]
+            N = met.edgeNormal[edges]
+            res_opt = np.sum((N @ U[c] - u[edges]) ** 2)
+            east, north = tangent_basis(met.xCell[c])
+            for trial in range(5):
+                V = U[c] + 0.1 * (rng.standard_normal() * east + rng.standard_normal() * north)
+                res_trial = np.sum((N @ V - u[edges]) ** 2)
+                assert res_opt <= res_trial + 1e-12
