@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..dataflow.graph import DataFlowGraph
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .executor import HybridExecutor, Placement
 from .schedule import balanced_fraction
 
@@ -46,21 +48,35 @@ def tune_split_fraction(
     """
     from .schedule import pattern_level_assignment
 
+    registry = get_registry()
+    tracer = get_tracer()
     seeds = [balanced_fraction(dfg, times)]
     seeds += [0.05 + 0.9 * k / (candidates - 1) for k in range(candidates)]
     history = []
     best = None
-    for f in seeds:
+    for trial, f in enumerate(seeds):
         assignment = pattern_level_assignment(dfg, times, min_split_gain=0.0)
         # Override every split with the candidate fraction.
         assignment = {
             n: (Placement("split", cpu_fraction=f) if p.device == "split" else p)
             for n, p in assignment.items()
         }
-        makespan = executor.run(assignment).makespan
+        with tracer.span(
+            f"autotune:trial{trial}", category="autotune",
+            trial=trial, fraction=round(f, 4),
+        ):
+            makespan = executor.run(assignment).makespan
+        # One gauge series per trial: the tuning trajectory is replayable
+        # from a metrics snapshot alone (fraction tag -> makespan value).
+        registry.gauge(
+            "hybrid.autotune.makespan", trial=trial, fraction=round(f, 4)
+        ).set(makespan)
+        registry.counter("hybrid.autotune.evaluations").inc()
         history.append((f, makespan))
         if best is None or makespan < best[1]:
             best = (f, makespan)
+    registry.gauge("hybrid.autotune.best_fraction").set(best[0])
+    registry.gauge("hybrid.autotune.best_makespan").set(best[1])
     return TuneResult(
         fraction=best[0],
         makespan=best[1],

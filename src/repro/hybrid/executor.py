@@ -33,6 +33,8 @@ import networkx as nx
 
 from ..dataflow.graph import DataFlowGraph
 from ..machine.interconnect import TransferModel
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.trace import Tracer, get_tracer
 from ..patterns.classify import point_of
 
 __all__ = ["Placement", "Assignment", "Task", "Timeline", "HybridExecutor", "DEVICES"]
@@ -168,6 +170,12 @@ class HybridExecutor:
         The PCIe link (full-duplex: independent up/down channels).
     halo_time : float
         Seconds per halo-exchange node (0 for single-process runs).
+    tracer, registry : optional
+        Observability sinks; default to the process-wide ones.  When the
+        tracer is enabled, every executed run emits its timeline as
+        simulated spans (one track per model resource) tagged with the
+        pattern id of each compute task; split fractions and PCIe traffic
+        land in the registry either way.
     """
 
     def __init__(
@@ -177,12 +185,17 @@ class HybridExecutor:
         mesh_counts,
         transfer: TransferModel,
         halo_time: float = 0.0,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.dfg = dfg
         self.node_times = node_times
         self.mesh_counts = mesh_counts
         self.transfer = transfer
         self.halo_time = halo_time
+        self.tracer = tracer
+        self.registry = registry
+        self._sim_offset = 0.0
 
     # ------------------------------------------------------------------ util
     def _var_bytes(self, variable: str) -> float:
@@ -200,12 +213,45 @@ class HybridExecutor:
             return 0.0
         return min(1.0, 8.0 * math.sqrt(n) / n)
 
+    # ---------------------------------------------------------------- observe
+    def _record(self, assignment: Assignment, timeline: Timeline) -> None:
+        """Emit the executed timeline into the observability layer."""
+        registry = self.registry if self.registry is not None else get_registry()
+        for node, placement in assignment.items():
+            if placement.device == "split":
+                registry.gauge(
+                    "hybrid.split.cpu_fraction", node=node
+                ).set(placement.cpu_fraction)
+        for kind in ("compute", "transfer", "halo"):
+            n = sum(1 for t in timeline.tasks if t.kind == kind)
+            if n:
+                registry.counter("hybrid.tasks", kind=kind).inc(n)
+
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        if not tracer.enabled:
+            return
+        base = self._sim_offset
+        for t in timeline.tasks:
+            tags: dict = {"resource": t.resource, "task": t.kind}
+            if t.kind == "compute":
+                node = t.name.split("[")[0]
+                inst = self.dfg.instance(node)
+                tags.update(
+                    pattern=inst.label, kind=inst.kind_letter, kernel=inst.kernel
+                )
+            tracer.add_span(
+                t.name, base + t.start, base + t.end, category="sim", **tags
+            )
+        # Pad so consecutive runs (autotune trials) do not visually abut.
+        self._sim_offset = base + timeline.makespan * 1.05
+
     # ------------------------------------------------------------------ run
     def run(self, assignment: Assignment) -> Timeline:
         dfg = self.dfg
         timeline = Timeline()
         avail = {"cpu": 0.0, "mic": 0.0, "pcie_up": 0.0, "pcie_down": 0.0, "net": 0.0}
         res: dict[str, _Residency] = {}
+        registry = self.registry if self.registry is not None else get_registry()
 
         def residency(var: str) -> _Residency:
             r = res.get(var)
@@ -221,6 +267,7 @@ class HybridExecutor:
             if n_bytes <= 0.0:
                 return earliest
             channel = "pcie_up" if dst == "mic" else "pcie_down"
+            registry.counter("hybrid.pcie.bytes", channel=channel).inc(n_bytes)
             dur = self.transfer.time(n_bytes)
             start = max(avail[channel], earliest)
             end = start + dur
@@ -341,4 +388,5 @@ class HybridExecutor:
                 for var in out_vars:
                     produce_split(var, f, ends["cpu"], ends["mic"])
 
+        self._record(assignment, timeline)
         return timeline

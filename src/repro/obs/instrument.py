@@ -1,0 +1,84 @@
+"""Repo-aware span helpers: pattern/kernel spans tagged from the catalog.
+
+:func:`pattern_span` is the one-liner the kernels use: given a Table I label
+(``"A1"``, ``"B1"``, ... or the fused ``"C1,C2"`` pair that one vectorized
+sweep computes together), it opens a span on the process-wide tracer tagged
+with everything the report layer needs — pattern id, stencil kind letter,
+owning kernel, output point type, element count and the estimated bytes
+moved (from the catalog's per-point traffic counts, the same numbers
+:mod:`repro.machine.cost` prices).
+
+The catalog lookup is built lazily on the first *enabled* call, so importing
+an instrumented kernel module never imports the pattern machinery, and a
+disabled tracer pays only the ``enabled`` check.
+"""
+
+from __future__ import annotations
+
+from .trace import NULL_SPAN, get_tracer
+
+__all__ = ["kernel_span", "pattern_span", "pattern_info"]
+
+_PATTERN_INFO: dict[str, dict] | None = None
+
+
+def pattern_info() -> dict[str, dict]:
+    """Per-label static tags derived from the full Table I catalog."""
+    global _PATTERN_INFO
+    if _PATTERN_INFO is None:
+        from ..patterns.catalog import build_catalog
+
+        info: dict[str, dict] = {}
+        for inst in build_catalog(None):
+            info[inst.label] = {
+                "kind": inst.kind_letter,
+                "kernel": inst.kernel,
+                "point": inst.output_point.value,
+                "output_point": inst.output_point,
+                "bytes_per_point": 8.0 * inst.f64_per_point
+                + 4.0 * inst.i32_per_point,
+            }
+        _PATTERN_INFO = info
+    return _PATTERN_INFO
+
+
+def kernel_span(name: str, stage: int | None = None, **tags):
+    """Span for one Algorithm 1 kernel call (no-op when tracing is off)."""
+    t = get_tracer()
+    if not t.enabled:
+        return NULL_SPAN
+    if stage is not None:
+        tags["stage"] = stage
+    return t.span(name, category="kernel", kernel=name, **tags)
+
+
+def pattern_span(label: str, mesh=None, n_points: int | None = None, **tags):
+    """Span for one Table I pattern instance (no-op when tracing is off).
+
+    ``label`` may name a single instance or a comma-fused group (``"C1,C2"``)
+    computed by one sweep; tags then merge the group.  ``mesh`` (anything
+    with ``nCells``/``nEdges``/``nVertices``, incl.
+    :class:`~repro.machine.counts.MeshCounts`) sizes ``n_points`` and
+    ``bytes_est``; pass ``n_points`` directly when no mesh is at hand.
+    """
+    t = get_tracer()
+    if not t.enabled:
+        return NULL_SPAN
+    info = pattern_info()
+    parts = [info[part] for part in label.split(",")]
+    first = parts[0]
+    if mesh is not None and n_points is None:
+        n_points = first["output_point"].count(mesh)
+    span_tags = {
+        "pattern": label,
+        "kind": first["kind"],
+        "kernel": first["kernel"],
+        "point": first["point"],
+    }
+    if n_points is not None:
+        span_tags["n_points"] = int(n_points)
+        span_tags["bytes_est"] = sum(p["bytes_per_point"] for p in parts) * int(
+            n_points
+        )
+    span_tags.update(tags)
+    return t.span(label, category="pattern", **span_tags)

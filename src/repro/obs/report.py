@@ -1,0 +1,416 @@
+"""Measured-vs-modeled cost reporting (and the observability CLI).
+
+The performance model (:mod:`repro.machine.cost`) predicts per-pattern
+times; the tracer measures them on the real NumPy kernels.  This module
+joins the two on the Table I labels, so "is the model drifting from the
+code?" is one function call: :func:`measured_vs_modeled` returns one row per
+pattern with measured/modeled *shares* of a step and their difference.
+Shares — not absolute times — are the comparable quantity: the model prices
+a simulated Xeon, the measurement times NumPy, but both must agree on
+*where the time goes* for the Figure 4b scheduling story to hold.
+
+Run it::
+
+    python -m repro.obs.report --selftest
+    python -m repro.obs.report --case galewsky --steps 10 \\
+        --chrome trace.json --jsonl run.jsonl --kernels
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from .export import read_jsonl, validate_chrome_trace, write_chrome_trace, write_jsonl
+from .instrument import pattern_info
+from .metrics import MetricsRegistry, get_registry, use_registry
+from .trace import SpanRecord, Tracer, use_tracer
+
+__all__ = [
+    "PatternCost",
+    "measured_pattern_costs",
+    "modeled_pattern_costs",
+    "measured_vs_modeled",
+    "render_cost_report",
+    "kernel_profile_rows",
+    "render_kernel_profile",
+    "run_traced",
+    "main",
+]
+
+
+# ------------------------------------------------------------------- measured
+def pattern_self_times(spans: list[SpanRecord]) -> dict[str, float]:
+    """Self time per pattern label (child pattern spans subtracted).
+
+    Pattern spans may nest (``D1`` runs the fused ``C1,C2`` sweep inside),
+    so each span is charged only for the time not covered by its own
+    pattern children; fused labels (``"C1,C2"``) are split among their
+    members in proportion to the catalog's bytes-per-point.
+    """
+    finished = [s for s in spans if s.end is not None]
+    self_time: dict[int, float] = {
+        s.index: s.duration for s in finished if s.category == "pattern"
+    }
+    for s in finished:
+        if s.category != "pattern" or s.parent is None:
+            continue
+        if s.parent in self_time:
+            self_time[s.parent] -= s.duration
+    by_index = {s.index: s for s in finished}
+    info = pattern_info()
+    totals: dict[str, float] = {}
+    for index, seconds in self_time.items():
+        label = str(by_index[index].tags.get("pattern", by_index[index].name))
+        parts = label.split(",")
+        weights = [info[p]["bytes_per_point"] if p in info else 1.0 for p in parts]
+        total_w = sum(weights) or 1.0
+        for part, w in zip(parts, weights):
+            totals[part] = totals.get(part, 0.0) + seconds * (w / total_w)
+    return totals
+
+
+def measured_pattern_costs(tracer: Tracer) -> dict[str, float]:
+    """Total measured self time per Table I label, in seconds."""
+    return pattern_self_times(tracer.spans)
+
+
+# -------------------------------------------------------------------- modeled
+def occurrences_per_step(config=None) -> dict[str, int]:
+    """How many times each pattern instance runs in one RK-4 step."""
+    from ..dataflow.build import build_step_graph
+
+    dfg = build_step_graph(config, with_halo=False)
+    counts: dict[str, int] = {}
+    for node in dfg.compute_nodes():
+        label = dfg.instance(node).label
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def modeled_pattern_costs(
+    mesh_counts, config=None, device=None, profile=None
+) -> dict[str, float]:
+    """Model-predicted seconds per pattern for one full RK-4 step."""
+    from ..machine.cost import CostModel, ExecutionProfile
+    from ..machine.spec import XEON_E5_2680V2
+    from ..patterns.catalog import build_catalog
+
+    if device is None:
+        device = XEON_E5_2680V2
+    if profile is None:
+        # Single-threaded, unvectorized: the profile closest to NumPy.
+        profile = ExecutionProfile(threads=1, vectorized=False)
+    model = CostModel(device=device, profile=profile)
+    occurrences = occurrences_per_step(config)
+    costs: dict[str, float] = {}
+    for inst in build_catalog(config):
+        n = inst.output_point.count(mesh_counts)
+        costs[inst.label] = model.instance_time(inst, n) * occurrences.get(
+            inst.label, 0
+        )
+    return costs
+
+
+# ---------------------------------------------------------------------- join
+@dataclass(frozen=True)
+class PatternCost:
+    """One row of the measured-vs-modeled table."""
+
+    label: str
+    kind: str
+    kernel: str
+    point: str
+    per_step: int
+    measured_s: float
+    measured_share: float
+    modeled_s: float
+    modeled_share: float
+
+    @property
+    def drift_pp(self) -> float:
+        """Measured minus modeled share, in percentage points."""
+        return 100.0 * (self.measured_share - self.modeled_share)
+
+
+def measured_vs_modeled(
+    tracer: Tracer, mesh_counts, config=None, device=None, profile=None
+) -> list[PatternCost]:
+    """Join measured and modeled per-pattern costs on the Table I labels."""
+    from ..patterns.catalog import build_catalog
+
+    measured = measured_pattern_costs(tracer)
+    modeled = modeled_pattern_costs(mesh_counts, config, device, profile)
+    occurrences = occurrences_per_step(config)
+    m_total = sum(measured.get(i.label, 0.0) for i in build_catalog(config)) or 1.0
+    p_total = sum(modeled.values()) or 1.0
+    rows = []
+    for inst in build_catalog(config):
+        m = measured.get(inst.label, 0.0)
+        p = modeled.get(inst.label, 0.0)
+        rows.append(
+            PatternCost(
+                label=inst.label,
+                kind=inst.kind_letter,
+                kernel=inst.kernel,
+                point=inst.output_point.value,
+                per_step=occurrences.get(inst.label, 0),
+                measured_s=m,
+                measured_share=m / m_total,
+                modeled_s=p,
+                modeled_share=p / p_total,
+            )
+        )
+    rows.sort(key=lambda r: -r.measured_s)
+    return rows
+
+
+def render_cost_report(rows: list[PatternCost], title: str) -> str:
+    """The per-pattern measured-vs-modeled table, render_table-formatted."""
+    from ..bench.tables import fmt_time, render_table
+
+    table_rows = [
+        [
+            r.label,
+            r.kind,
+            r.kernel,
+            r.point,
+            r.per_step,
+            fmt_time(r.measured_s),
+            f"{100 * r.measured_share:.1f}%",
+            f"{100 * r.modeled_share:.1f}%",
+            f"{r.drift_pp:+.1f}",
+        ]
+        for r in rows
+    ]
+    return render_table(
+        title,
+        ["pattern", "kind", "kernel", "point", "n/step",
+         "measured", "meas %", "model %", "drift pp"],
+        table_rows,
+    )
+
+
+# ------------------------------------------------------------- kernel profile
+def kernel_profile_rows(tracer: Tracer) -> list[list[str]]:
+    """The classic per-kernel breakdown (kernel, wall time, share)."""
+    totals = tracer.aggregate_names(category="kernel")
+    total = sum(totals.values()) or 1.0
+    return [
+        [kernel, f"{secs * 1e3:.2f} ms", f"{100 * secs / total:.1f}%"]
+        for kernel, secs in sorted(totals.items(), key=lambda kv: -kv[1])
+    ]
+
+
+def render_kernel_profile(tracer: Tracer, title: str) -> str:
+    from ..bench.tables import render_table
+
+    return render_table(
+        title, ["kernel", "wall time", "share"], kernel_profile_rows(tracer)
+    )
+
+
+# ------------------------------------------------------------------ traced run
+_CASES = {
+    "galewsky": "galewsky_jet",
+    "tc2": "steady_zonal_flow",
+    "tc5": "isolated_mountain",
+}
+
+
+def run_traced(
+    case: str = "galewsky",
+    level: int = 3,
+    steps: int = 10,
+    config=None,
+    warmup: bool = True,
+) -> tuple[Tracer, MetricsRegistry, object, object]:
+    """Integrate ``steps`` RK-4 steps with tracing on.
+
+    Returns ``(tracer, registry, mesh, config)``.  A warm-up step (untraced)
+    pays the one-time per-mesh setup — reconstruction matrices, deriv_two
+    coefficients — so the spans measure steady-state kernel cost.
+    """
+    import repro.swm as swm
+    from ..constants import GRAVITY
+    from ..mesh import cached_mesh
+    from ..swm.testcases import initialize
+    from ..swm.timestep import RK4Integrator
+
+    if case not in _CASES:
+        raise ValueError(f"unknown case {case!r}; choose from {sorted(_CASES)}")
+    mesh = cached_mesh(level)
+    test_case = getattr(swm, _CASES[case])()
+    if config is None:
+        from ..swm.config import SWConfig
+        from ..swm.model import suggested_dt
+
+        config = SWConfig(
+            dt=suggested_dt(mesh, test_case, GRAVITY, cfl=0.5),
+            thickness_adv_order=4,
+        )
+    state, b_cell = initialize(mesh, test_case)
+    f_vertex = config.coriolis(mesh.metrics.latVertex)
+    integ = RK4Integrator(mesh, config, b_cell, f_vertex)
+    diag = integ.diagnostics_for(state)
+    if warmup:
+        integ.step(state, diag)
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_registry(registry):
+        for _ in range(steps):
+            result = integ.step(state, diag)
+            state, diag = result.state, result.diagnostics
+    registry.counter("swm.steps", case=case, level=level).inc(steps)
+    return tracer, registry, mesh, config
+
+
+# ------------------------------------------------------------------------ CLI
+def _selftest() -> int:
+    """End-to-end smoke: trace a 2-step run, export, validate, round-trip."""
+    from ..patterns.catalog import build_catalog
+
+    tracer, registry, mesh, config = run_traced("galewsky", level=2, steps=2)
+    rows = measured_vs_modeled(tracer, mesh, config)
+    missing = [
+        inst.label
+        for inst in build_catalog(config)
+        for row in [next(r for r in rows if r.label == inst.label)]
+        if row.measured_s <= 0.0
+    ]
+    if missing:
+        print(f"selftest FAILED: no measured time for patterns {missing}")
+        return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        chrome = Path(tmp) / "trace.json"
+        jsonl = Path(tmp) / "run.jsonl"
+        n_events = write_chrome_trace(tracer, chrome, registry)
+        validate_chrome_trace(chrome)
+        n_records = write_jsonl(tracer, jsonl, registry)
+        spans, metrics = read_jsonl(jsonl)
+        if len(spans) != len(tracer.finished()):
+            print("selftest FAILED: JSONL span round-trip lost records")
+            return 1
+        if pattern_self_times(spans) != pattern_self_times(tracer.spans):
+            print("selftest FAILED: JSONL round-trip changed pattern costs")
+            return 1
+
+    print(render_cost_report(
+        rows,
+        f"Selftest: measured vs modeled per-pattern cost "
+        f"({mesh.nCells} cells, 2 steps)",
+    ))
+    print(
+        f"obs selftest OK: {len(tracer.finished())} spans, "
+        f"{len(registry)} metric series, {n_events} trace events, "
+        f"{n_records} JSONL records, max |drift| = "
+        f"{max(abs(r.drift_pp) for r in rows):.1f} pp"
+    )
+    return 0
+
+
+def _overhead(case: str, level: int, steps: int) -> float:
+    """Wall-time ratio of a traced over an untraced run (same steps)."""
+    import time
+
+    def timed(traced: bool) -> float:
+        t0 = time.perf_counter()
+        if traced:
+            run_traced(case, level, steps)
+        else:
+            _run_untraced(case, level, steps)
+        return time.perf_counter() - t0
+
+    # Warm the process caches (mesh, reconstruction matrices, deriv-two
+    # coefficients) so neither timed run pays one-time setup.
+    _run_untraced(case, level, 1)
+    off = min(timed(False) for _ in range(3))
+    on = min(timed(True) for _ in range(3))
+    return on / off
+
+
+def _run_untraced(case: str, level: int, steps: int) -> None:
+    import repro.swm as swm
+    from ..constants import GRAVITY
+    from ..mesh import cached_mesh
+    from ..swm.config import SWConfig
+    from ..swm.model import suggested_dt
+    from ..swm.testcases import initialize
+    from ..swm.timestep import RK4Integrator
+
+    mesh = cached_mesh(level)
+    test_case = getattr(swm, _CASES[case])()
+    config = SWConfig(
+        dt=suggested_dt(mesh, test_case, GRAVITY, cfl=0.5), thickness_adv_order=4
+    )
+    state, b_cell = initialize(mesh, test_case)
+    f_vertex = config.coriolis(mesh.metrics.latVertex)
+    integ = RK4Integrator(mesh, config, b_cell, f_vertex)
+    diag = integ.diagnostics_for(state)
+    for _ in range(steps + 1):  # +1 matches the traced warm-up step
+        result = integ.step(state, diag)
+        state, diag = result.state, result.diagnostics
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Trace a shallow-water run and report per-pattern costs.",
+    )
+    parser.add_argument("--selftest", action="store_true",
+                        help="fast end-to-end smoke test (exporters included)")
+    parser.add_argument("--case", choices=sorted(_CASES), default="galewsky")
+    parser.add_argument("--level", type=int, default=3,
+                        help="icosahedral mesh level (default 3 = 642 cells)")
+    parser.add_argument("--steps", type=int, default=10)
+    parser.add_argument("--chrome", type=Path, default=None,
+                        help="write a chrome://tracing JSON here")
+    parser.add_argument("--jsonl", type=Path, default=None,
+                        help="write a JSON-lines export here")
+    parser.add_argument("--kernels", action="store_true",
+                        help="also print the per-kernel breakdown")
+    parser.add_argument("--overhead", action="store_true",
+                        help="measure tracing overhead (traced/untraced ratio)")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return _selftest()
+
+    if args.overhead:
+        ratio = _overhead(args.case, args.level, args.steps)
+        print(f"tracing overhead: {100 * (ratio - 1):+.1f}% "
+              f"({args.steps} steps, level {args.level})")
+        return 0
+
+    tracer, registry, mesh, config = run_traced(args.case, args.level, args.steps)
+    rows = measured_vs_modeled(tracer, mesh, config)
+    print(render_cost_report(
+        rows,
+        f"Measured vs modeled per-pattern cost ({args.case}, "
+        f"{mesh.nCells} cells, {args.steps} steps)",
+    ))
+    if args.kernels:
+        print()
+        print(render_kernel_profile(
+            tracer,
+            f"Measured kernel cost breakdown ({mesh.nCells} cells, "
+            f"{args.steps} steps, real NumPy kernels)",
+        ))
+    if args.chrome is not None:
+        n = write_chrome_trace(tracer, args.chrome, registry)
+        validate_chrome_trace(args.chrome)
+        print(f"wrote {n} trace events to {args.chrome} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    if args.jsonl is not None:
+        n = write_jsonl(tracer, args.jsonl, registry)
+        print(f"wrote {n} JSONL records to {args.jsonl}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -30,7 +30,12 @@ from ..mesh.mesh import Mesh
 from ..mesh.metrics import Metrics
 from ..mesh.trisk import TriskWeights
 
-__all__ = ["LocalMesh", "build_local_mesh", "halo_layers_required"]
+__all__ = [
+    "LocalMesh",
+    "build_local_mesh",
+    "halo_layers_required",
+    "exchange_bytes",
+]
 
 
 def halo_layers_required(thickness_adv_order: int, apvm: bool) -> int:
@@ -85,6 +90,23 @@ class LocalMesh:
     @property
     def n_halo_cells(self) -> int:
         return self.nCells - self.n_owned_cells
+
+    @property
+    def n_halo_edges(self) -> int:
+        return self.nEdges - self.n_owned_edges
+
+
+def exchange_bytes(local_meshes: "list[LocalMesh]") -> float:
+    """Bytes one prognostic halo exchange moves across all ranks.
+
+    Each exchange refreshes the halo values of ``h`` (cells) and ``u``
+    (edges) on every rank — the payload the paper's MPI layer ships at each
+    red synchronization arrow of Figure 2.  Diagnostics are recomputed
+    redundantly and move nothing.
+    """
+    return 8.0 * sum(
+        lm.n_halo_cells + lm.n_halo_edges for lm in local_meshes
+    )
 
 
 def _halo_rings(mesh: Mesh, owned: np.ndarray, layers: int) -> list[np.ndarray]:

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..mesh.mesh import Mesh
+from ..obs.metrics import get_registry
+from ..obs.trace import trace_span
 from ..swm.config import SWConfig
 from ..swm.diagnostics import compute_solve_diagnostics
 from ..swm.state import Diagnostics, State
@@ -34,7 +36,7 @@ from ..swm.timestep import (
     accumulative_update,
     compute_next_substep_state,
 )
-from .halo import LocalMesh, build_local_mesh, halo_layers_required
+from .halo import LocalMesh, build_local_mesh, exchange_bytes, halo_layers_required
 from .partition import partition_cells
 
 __all__ = ["DecomposedShallowWater"]
@@ -91,21 +93,36 @@ class DecomposedShallowWater:
                 )
             )
         self.exchange_count = 0
+        # Per-exchange payload is fixed by the decomposition; cache the
+        # counter series so the hot path pays two adds per exchange.
+        registry = get_registry()
+        self._bytes_per_exchange = exchange_bytes([rd.mesh for rd in self.ranks])
+        self._halo_bytes = registry.counter("halo.bytes", ranks=n_ranks)
+        self._halo_exchanges = registry.counter("halo.exchanges", ranks=n_ranks)
+        registry.gauge("halo.bytes_per_exchange", ranks=n_ranks).set(
+            self._bytes_per_exchange
+        )
 
     # ------------------------------------------------------------- exchange
     def _exchange(self, states: list[State]) -> None:
         """Refresh halo values of ``h``/``u`` from their owning ranks."""
-        gh = np.empty(self.mesh.nCells)
-        gu = np.empty(self.mesh.nEdges)
-        for rd, st in zip(self.ranks, states):
-            lm = rd.mesh
-            gh[lm.cells_global[: lm.n_owned_cells]] = st.h[: lm.n_owned_cells]
-            gu[lm.edges_global[: lm.n_owned_edges]] = st.u[: lm.n_owned_edges]
-        for rd, st in zip(self.ranks, states):
-            lm = rd.mesh
-            st.h[lm.n_owned_cells :] = gh[lm.cells_global[lm.n_owned_cells :]]
-            st.u[lm.n_owned_edges :] = gu[lm.edges_global[lm.n_owned_edges :]]
+        with trace_span(
+            "halo_exchange", category="halo",
+            ranks=self.n_ranks, bytes_est=self._bytes_per_exchange,
+        ):
+            gh = np.empty(self.mesh.nCells)
+            gu = np.empty(self.mesh.nEdges)
+            for rd, st in zip(self.ranks, states):
+                lm = rd.mesh
+                gh[lm.cells_global[: lm.n_owned_cells]] = st.h[: lm.n_owned_cells]
+                gu[lm.edges_global[: lm.n_owned_edges]] = st.u[: lm.n_owned_edges]
+            for rd, st in zip(self.ranks, states):
+                lm = rd.mesh
+                st.h[lm.n_owned_cells :] = gh[lm.cells_global[lm.n_owned_cells :]]
+                st.u[lm.n_owned_edges :] = gu[lm.edges_global[lm.n_owned_edges :]]
         self.exchange_count += 1
+        self._halo_bytes.inc(self._bytes_per_exchange)
+        self._halo_exchanges.inc()
 
     # ----------------------------------------------------------------- step
     def step(self) -> None:

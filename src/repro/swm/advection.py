@@ -29,6 +29,7 @@ import numpy as np
 
 from ..geometry.sphere import tangent_basis, tangent_plane_coords
 from ..mesh.mesh import Mesh
+from ..obs.instrument import pattern_span
 
 __all__ = ["AdvectionCoefficients", "advection_coefficients", "d2fdx2_on_edges", "h_edge_high_order"]
 
@@ -117,7 +118,10 @@ def d2fdx2_on_edges(mesh: Mesh, h_cell: np.ndarray) -> tuple[np.ndarray, np.ndar
     Returns ``(d2fdx2_cell1, d2fdx2_cell2)`` — the Table I variables.
     """
     coeffs = advection_coefficients(mesh)
-    d2 = np.sum(coeffs.weights * h_cell[coeffs.cells], axis=2)
+    # One vectorized sweep evaluates both Table I instances (C1 and C2);
+    # the fused span is split between them at report time.
+    with pattern_span("C1,C2", mesh):
+        d2 = np.sum(coeffs.weights * h_cell[coeffs.cells], axis=2)
     return d2[:, 0], d2[:, 1]
 
 

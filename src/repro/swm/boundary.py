@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mesh.mesh import Mesh
+from ..obs.instrument import pattern_span
 
 __all__ = ["boundary_edge_mask", "enforce_boundary_edge"]
 
@@ -32,6 +33,7 @@ def boundary_edge_mask(mesh: Mesh, cell_mask: np.ndarray | None = None) -> np.nd
 
 def enforce_boundary_edge(tend_u: np.ndarray, mask: np.ndarray) -> np.ndarray:
     """Zero ``tend_u`` on masked edges, in place; returns ``tend_u``."""
-    if mask.any():
-        tend_u[mask] = 0.0
+    with pattern_span("X1", n_points=tend_u.size):
+        if mask.any():
+            tend_u[mask] = 0.0
     return tend_u

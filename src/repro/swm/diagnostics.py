@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mesh.mesh import Mesh
+from ..obs.instrument import pattern_span
 from .advection import h_edge_high_order
 from .config import SWConfig
 from .operators import (
@@ -51,30 +52,41 @@ def compute_solve_diagnostics(
     """
     h, u = state.h, state.u
 
-    h_edge = h_edge_high_order(
-        mesh, h, u, config.thickness_adv_order, config.coef_3rd_order
-    )
-    ke = cell_kinetic_energy(mesh, u)
-    vorticity = vertex_curl(mesh, u)
-    divergence = cell_divergence(mesh, u)
-    v = tangential_velocity(mesh, u)
-    h_vertex = vertex_from_cells_kite(mesh, h)
-    if np.any(h_vertex <= 0.0):
+    # Pattern D1 (with the fused C1,C2 sweep nested inside for high order).
+    with pattern_span("D1", mesh):
+        h_edge = h_edge_high_order(
+            mesh, h, u, config.thickness_adv_order, config.coef_3rd_order
+        )
+    with pattern_span("A2", mesh):
+        ke = cell_kinetic_energy(mesh, u)
+    with pattern_span("H1", mesh):
+        vorticity = vertex_curl(mesh, u)
+    with pattern_span("A3", mesh):
+        divergence = cell_divergence(mesh, u)
+    with pattern_span("B2", mesh):
+        v = tangential_velocity(mesh, u)
+    with pattern_span("E1", mesh):
+        h_vertex = vertex_from_cells_kite(mesh, h)
+        unstable = bool(np.any(h_vertex <= 0.0))
+        if not unstable:
+            pv_vertex = (f_vertex + vorticity) / h_vertex
+    if unstable:
         raise FloatingPointError(
             "non-positive h_vertex: the simulation has gone unstable "
             "(reduce dt or check the initial condition)"
         )
-    pv_vertex = (f_vertex + vorticity) / h_vertex
-    pv_cell = cell_from_vertices_kite(mesh, pv_vertex)
-    pv_edge = vertex_to_edge_mean(mesh, pv_vertex)
+    with pattern_span("F1", mesh):
+        pv_cell = cell_from_vertices_kite(mesh, pv_vertex)
+    with pattern_span("G1", mesh):
+        pv_edge = vertex_to_edge_mean(mesh, pv_vertex)
 
-    if config.apvm_upwinding != 0.0:
-        # Anticipated PV method: upwind pv_edge along the full velocity
-        # vector, damping the enstrophy cascade (Ringler et al. 2010).
-        grad_pv_t = edge_gradient_of_vertex(mesh, pv_vertex)
-        grad_pv_n = edge_gradient_of_cell(mesh, pv_cell)
-        factor = config.apvm_upwinding * config.dt
-        pv_edge = pv_edge - factor * (v * grad_pv_t + u * grad_pv_n)
+        if config.apvm_upwinding != 0.0:
+            # Anticipated PV method: upwind pv_edge along the full velocity
+            # vector, damping the enstrophy cascade (Ringler et al. 2010).
+            grad_pv_t = edge_gradient_of_vertex(mesh, pv_vertex)
+            grad_pv_n = edge_gradient_of_cell(mesh, pv_cell)
+            factor = config.apvm_upwinding * config.dt
+            pv_edge = pv_edge - factor * (v * grad_pv_t + u * grad_pv_n)
 
     return Diagnostics(
         h_edge=h_edge,

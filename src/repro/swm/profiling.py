@@ -1,36 +1,24 @@
-"""Per-kernel wall-time profiling of the real Python model.
+"""Per-kernel wall-time profiling — backward-compatible shim over the tracer.
 
 Section II-C: "In the kernel-level design, one usually profiles the code to
-identify the most time-consuming kernels."  This module performs that exact
-step on the *real* NumPy implementation: a :class:`ProfiledIntegrator` wraps
-:class:`~repro.swm.timestep.RK4Integrator` and accumulates wall time per
-Algorithm 1 kernel, giving the measured cost breakdown that motivates the
-Figure 2 placement (``compute_tend`` and ``compute_solve_diagnostics``
-dominate).
+identify the most time-consuming kernels."  Historically this module timed
+the RK-4 loop by hand; kernel timing now lives in the unified observability
+layer (:mod:`repro.obs`), which instruments :class:`RK4Integrator` itself
+with nested kernel/pattern spans.  :class:`ProfiledIntegrator` is kept as a
+thin compatibility wrapper: it runs the *plain* integrator under a private
+:class:`~repro.obs.Tracer` and folds the kernel spans back into the familiar
+:class:`KernelProfile` accumulator, so existing callers (and the
+``kernel_profile`` benchmark) see identical semantics — while also getting
+the tracer itself (``integ.tracer``) for span-level drill-down and export.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from ..mesh.mesh import Mesh
-from .boundary import enforce_boundary_edge
-from .config import SWConfig
-from .diagnostics import compute_solve_diagnostics
-from .reconstruct import mpas_reconstruct
+from ..obs.trace import Tracer, use_tracer
 from .state import Diagnostics, State
-from .tendencies import compute_tend
-from .timestep import (
-    RK4Integrator,
-    RK_ACCUMULATE_WEIGHTS,
-    RK_SUBSTEP_WEIGHTS,
-    StepResult,
-    accumulative_update,
-    compute_next_substep_state,
-)
+from .timestep import RK4Integrator, StepResult
 
 __all__ = ["KernelProfile", "ProfiledIntegrator"]
 
@@ -71,61 +59,19 @@ class KernelProfile:
 
 
 class ProfiledIntegrator(RK4Integrator):
-    """RK-4 integrator that times every Algorithm 1 kernel call."""
+    """RK-4 integrator that accumulates per-kernel time via the obs tracer."""
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.profile = KernelProfile()
-
-    def _timed(self, kernel: str, fn, *args, **kwargs):
-        t0 = time.perf_counter()
-        out = fn(*args, **kwargs)
-        self.profile.add(kernel, time.perf_counter() - t0)
-        return out
+        self.tracer = Tracer()
 
     def step(self, state: State, diag: Diagnostics) -> StepResult:
-        dt = self.config.dt
-        provis = state.copy()
-        provis_diag = diag
-        acc = state.copy()
-
-        new_diag: Diagnostics | None = None
-        for stage in range(4):
-            self.exchange_halo(provis)
-            tend_h, tend_u = self._timed(
-                "compute_tend",
-                compute_tend,
-                self.mesh, provis, provis_diag, self.b_cell, self.config,
-            )
-            self._timed(
-                "enforce_boundary_edge",
-                enforce_boundary_edge, tend_u, self.boundary_mask,
-            )
-            self._timed(
-                "accumulative_update",
-                accumulative_update,
-                acc, tend_h, tend_u, RK_ACCUMULATE_WEIGHTS[stage] * dt,
-            )
-            if stage < 3:
-                provis = self._timed(
-                    "compute_next_substep_state",
-                    compute_next_substep_state,
-                    state, tend_h, tend_u, RK_SUBSTEP_WEIGHTS[stage] * dt,
-                )
-                self.exchange_halo(provis)
-                provis_diag = self._timed(
-                    "compute_solve_diagnostics",
-                    compute_solve_diagnostics,
-                    self.mesh, provis, self.f_vertex, self.config,
-                )
-            else:
-                self.exchange_halo(acc)
-                new_diag = self._timed(
-                    "compute_solve_diagnostics",
-                    compute_solve_diagnostics,
-                    self.mesh, acc, self.f_vertex, self.config,
-                )
-        recon = self._timed("mpas_reconstruct", mpas_reconstruct, self.mesh, acc.u)
+        mark = len(self.tracer.spans)
+        with use_tracer(self.tracer):
+            result = super().step(state, diag)
+        for span in self.tracer.spans[mark:]:
+            if span.category == "kernel" and span.end is not None:
+                self.profile.add(span.name, span.duration)
         self.profile.steps += 1
-        assert new_diag is not None
-        return StepResult(state=acc, diagnostics=new_diag, reconstruction=recon)
+        return result

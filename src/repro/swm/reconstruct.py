@@ -21,6 +21,7 @@ import numpy as np
 
 from ..geometry.sphere import tangent_basis
 from ..mesh.mesh import Mesh
+from ..obs.instrument import pattern_span
 from .state import Reconstruction
 
 __all__ = ["mpas_reconstruct", "reconstruction_matrices"]
@@ -58,16 +59,18 @@ def mpas_reconstruct(mesh: Mesh, u_edge: np.ndarray) -> Reconstruction:
     """Reconstruct cell-centre velocities from edge normal components."""
     conn, met = mesh.connectivity, mesh.metrics
     mats = reconstruction_matrices(mesh)
-    eoc = np.where(conn.edgesOnCell >= 0, conn.edgesOnCell, 0)
-    mask = (conn.edgesOnCell >= 0).astype(np.float64)
-    gathered = u_edge[eoc] * mask  # (nCells, maxEdges)
     # Pattern A4: cell vector from neighbouring edges.
-    U = np.einsum("cik,ck->ci", mats, gathered)
+    with pattern_span("A4", mesh):
+        eoc = np.where(conn.edgesOnCell >= 0, conn.edgesOnCell, 0)
+        mask = (conn.edgesOnCell >= 0).astype(np.float64)
+        gathered = u_edge[eoc] * mask  # (nCells, maxEdges)
+        U = np.einsum("cik,ck->ci", mats, gathered)
 
-    east, north = tangent_basis(met.xCell)
     # Local X6: change of basis at each cell.
-    zonal = np.sum(U * east, axis=1)
-    meridional = np.sum(U * north, axis=1)
+    with pattern_span("X6", mesh):
+        east, north = tangent_basis(met.xCell)
+        zonal = np.sum(U * east, axis=1)
+        meridional = np.sum(U * north, axis=1)
     return Reconstruction(
         uReconstructX=U[:, 0],
         uReconstructY=U[:, 1],

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mesh.mesh import Mesh
+from ..obs.instrument import pattern_span
 from .config import SWConfig
 from .operators import (
     coriolis_edge_term,
@@ -51,28 +52,32 @@ def compute_tend(
         Bottom topography.
     """
     # Pattern A1: mass tendency, gather over the edges of each cell.
-    tend_h = -flux_divergence(mesh, state.u, diag.h_edge)
+    with pattern_span("A1", mesh):
+        tend_h = -flux_divergence(mesh, state.u, diag.h_edge)
 
     if config.advection_only:
         # TC1-style passive advection: the wind is prescribed and frozen.
         return tend_h, np.zeros_like(state.u)
 
-    # Pattern B1: nonlinear Coriolis term over the TRiSK edge neighbourhood.
-    q_term = coriolis_edge_term(mesh, state.u, diag.h_edge, diag.pv_edge)
+    with pattern_span("B1", mesh):
+        # Pattern B1: nonlinear Coriolis term over the TRiSK edge
+        # neighbourhood (the catalog prices the whole momentum RHS as B1,
+        # including the Bernoulli gradient and optional del2 terms).
+        q_term = coriolis_edge_term(mesh, state.u, diag.h_edge, diag.pv_edge)
 
-    # Pattern C-type: normal gradient of the Bernoulli function.
-    bernoulli = diag.ke + config.gravity * (state.h + b_cell)
-    grad_b = edge_gradient_of_cell(mesh, bernoulli)
+        # Pattern C-type: normal gradient of the Bernoulli function.
+        bernoulli = diag.ke + config.gravity * (state.h + b_cell)
+        grad_b = edge_gradient_of_cell(mesh, bernoulli)
 
-    # Local X1: combine the momentum contributions.
-    tend_u = q_term - grad_b
+        # Combine the momentum contributions.
+        tend_u = q_term - grad_b
 
-    if config.viscosity != 0.0:
-        # del2 dissipation in vector-invariant form:
-        #   nu * (grad(div) - k x grad(vorticity))
-        grad_div = edge_gradient_of_cell(mesh, diag.divergence)
-        grad_vort = edge_gradient_of_vertex(mesh, diag.vorticity)
-        tend_u = tend_u + config.viscosity * (grad_div - grad_vort)
+        if config.viscosity != 0.0:
+            # del2 dissipation in vector-invariant form:
+            #   nu * (grad(div) - k x grad(vorticity))
+            grad_div = edge_gradient_of_cell(mesh, diag.divergence)
+            grad_vort = edge_gradient_of_vertex(mesh, diag.vorticity)
+            tend_u = tend_u + config.viscosity * (grad_div - grad_vort)
 
     if config.hyperviscosity != 0.0:
         # del4 = del2(del2): apply the vector Laplacian twice.  Reuses the

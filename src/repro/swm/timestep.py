@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..mesh.mesh import Mesh
+from ..obs.instrument import kernel_span, pattern_span
 from .boundary import enforce_boundary_edge
 from .config import SWConfig
 from .diagnostics import compute_solve_diagnostics
@@ -58,15 +59,21 @@ def compute_next_substep_state(
     state: State, tend_h: np.ndarray, tend_u: np.ndarray, weight_dt: float
 ) -> State:
     """Provisional state for the next RK stage (local X-type computation)."""
-    return State(h=state.h + weight_dt * tend_h, u=state.u + weight_dt * tend_u)
+    with pattern_span("X2", n_points=state.h.size):
+        h = state.h + weight_dt * tend_h
+    with pattern_span("X3", n_points=state.u.size):
+        u = state.u + weight_dt * tend_u
+    return State(h=h, u=u)
 
 
 def accumulative_update(
     acc: State, tend_h: np.ndarray, tend_u: np.ndarray, weight_dt: float
 ) -> None:
     """Accumulate the RK-weighted tendency into ``acc`` in place."""
-    acc.h += weight_dt * tend_h
-    acc.u += weight_dt * tend_u
+    with pattern_span("X4", n_points=acc.h.size):
+        acc.h += weight_dt * tend_h
+    with pattern_span("X5", n_points=acc.u.size):
+        acc.u += weight_dt * tend_u
 
 
 class RK4Integrator:
@@ -129,26 +136,33 @@ class RK4Integrator:
         new_diag: Diagnostics | None = None
         for stage in range(4):
             self.exchange_halo(provis)
-            tend_h, tend_u = compute_tend(
-                self.mesh, provis, provis_diag, self.b_cell, self.config
-            )
-            enforce_boundary_edge(tend_u, self.boundary_mask)
-            accumulative_update(
-                acc, tend_h, tend_u, RK_ACCUMULATE_WEIGHTS[stage] * dt
-            )
+            with kernel_span("compute_tend", stage=stage):
+                tend_h, tend_u = compute_tend(
+                    self.mesh, provis, provis_diag, self.b_cell, self.config
+                )
+            with kernel_span("enforce_boundary_edge", stage=stage):
+                enforce_boundary_edge(tend_u, self.boundary_mask)
+            with kernel_span("accumulative_update", stage=stage):
+                accumulative_update(
+                    acc, tend_h, tend_u, RK_ACCUMULATE_WEIGHTS[stage] * dt
+                )
             if stage < 3:
-                provis = compute_next_substep_state(
-                    state, tend_h, tend_u, RK_SUBSTEP_WEIGHTS[stage] * dt
-                )
+                with kernel_span("compute_next_substep_state", stage=stage):
+                    provis = compute_next_substep_state(
+                        state, tend_h, tend_u, RK_SUBSTEP_WEIGHTS[stage] * dt
+                    )
                 self.exchange_halo(provis)
-                provis_diag = compute_solve_diagnostics(
-                    self.mesh, provis, self.f_vertex, self.config
-                )
+                with kernel_span("compute_solve_diagnostics", stage=stage):
+                    provis_diag = compute_solve_diagnostics(
+                        self.mesh, provis, self.f_vertex, self.config
+                    )
             else:
                 self.exchange_halo(acc)
-                new_diag = compute_solve_diagnostics(
-                    self.mesh, acc, self.f_vertex, self.config
-                )
-        recon = mpas_reconstruct(self.mesh, acc.u)
+                with kernel_span("compute_solve_diagnostics", stage=stage):
+                    new_diag = compute_solve_diagnostics(
+                        self.mesh, acc, self.f_vertex, self.config
+                    )
+        with kernel_span("mpas_reconstruct"):
+            recon = mpas_reconstruct(self.mesh, acc.u)
         assert new_diag is not None
         return StepResult(state=acc, diagnostics=new_diag, reconstruction=recon)

@@ -1,0 +1,36 @@
+"""The documentation's code blocks are doctests; run them in tier 1.
+
+The same files also run under ``pytest --doctest-glob='*.md' docs/``; this
+module exists so the default ``pytest tests/`` invocation covers them too.
+"""
+
+from __future__ import annotations
+
+import doctest
+from pathlib import Path
+
+import pytest
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+OPTIONFLAGS = doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+
+DOCTESTED = ["observability.md", "architecture.md"]
+
+
+@pytest.mark.parametrize("name", DOCTESTED)
+def test_doc_examples(name):
+    results = doctest.testfile(
+        str(DOCS / name),
+        module_relative=False,
+        optionflags=OPTIONFLAGS,
+        verbose=False,
+    )
+    assert results.attempted > 0, f"{name} has no doctests"
+    assert results.failed == 0
+
+
+def test_all_docs_accounted_for():
+    """New docs must either carry doctests or be consciously excluded."""
+    known_plain = {"numerics.md", "performance_model.md"}
+    on_disk = {p.name for p in DOCS.glob("*.md")}
+    assert on_disk == known_plain | set(DOCTESTED)
