@@ -1,0 +1,135 @@
+"""Per-pattern backend timing: numpy vs scatter vs codegen.
+
+The engine registry makes the backends interchangeable; this bench measures
+what that choice costs.  Every registered stencil operator is timed under
+each backend on a ladder of really-built SCVT meshes (the buildable analogue
+of the paper's Table III ladder — icosahedral levels, cells quadrupling per
+step), and the measurements are emitted both as a rendered table and as
+machine-readable JSON (``results/kernel_backends.json``) for downstream
+comparison.
+
+The scatter backend is the Algorithm 2 loop transcription, so the expected
+ordering — and the paper's Section III-A motivation for the gather refactor —
+is scatter >> numpy ~ codegen.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from conftest import RESULTS_DIR, bench_level
+from repro.bench import render_table
+from repro.engine import BACKENDS, default_registry
+from repro.mesh import cached_mesh
+
+# (op, input point types) — every registered stencil operator.
+_OPS = [
+    ("flux_divergence", ("edge", "edge")),
+    ("kinetic_energy", ("edge",)),
+    ("cell_divergence", ("edge",)),
+    ("velocity_reconstruction", ("edge",)),
+    ("coriolis_edge_term", ("edge", "edge", "edge")),
+    ("tangential_velocity", ("edge",)),
+    ("d2fdx2", ("cell",)),
+    ("cell_to_edge_mean", ("cell",)),
+    ("vertex_from_cells_kite", ("cell",)),
+    ("cell_from_vertices_kite", ("vertex",)),
+    ("vertex_to_edge_mean", ("vertex",)),
+    ("vertex_curl", ("edge",)),
+    ("edge_gradient_of_cell", ("cell",)),
+    ("edge_gradient_of_vertex", ("vertex",)),
+]
+
+
+def _fields(mesh, kinds, rng):
+    n = {"cell": mesh.nCells, "edge": mesh.nEdges, "vertex": mesh.nVertices}
+    return tuple(rng.standard_normal(n[kind]) for kind in kinds)
+
+
+def _time_op(reg, op, mesh, fields, backend, repeats):
+    fn, resolved = reg.op(op).resolve(backend)
+    fn(mesh, *fields)  # warm-up (per-mesh caches, first-touch costs)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(mesh, *fields)
+        best = min(best, time.perf_counter() - t0)
+    return best, resolved
+
+
+def test_kernel_backend_ladder(benchmark, report):
+    levels = sorted({max(bench_level() - 1, 2), bench_level()})
+    reg = default_registry()
+    rng = np.random.default_rng(20150815)
+    records = []
+
+    def sweep():
+        records.clear()
+        for level in levels:
+            mesh = cached_mesh(level)
+            for op, kinds in _OPS:
+                fields = _fields(mesh, kinds, rng)
+                for backend in BACKENDS:
+                    # The loop backends are O(points) Python: one repeat is
+                    # plenty; the array backends get more for a stable min.
+                    repeats = 1 if backend == "scatter" else 5
+                    seconds, resolved = _time_op(
+                        reg, op, mesh, fields, backend, repeats
+                    )
+                    records.append(
+                        {
+                            "op": op,
+                            "pattern": reg.op(op).pattern,
+                            "level": level,
+                            "nCells": mesh.nCells,
+                            "backend": backend,
+                            "resolved_backend": resolved,
+                            "seconds": seconds,
+                        }
+                    )
+        return records
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "kernel_backends.json").write_text(
+        json.dumps(records, indent=2) + "\n"
+    )
+
+    # Rendered table: one row per (op, level), columns per backend.
+    by_key = {(r["op"], r["level"], r["backend"]): r for r in records}
+    rows = []
+    for op, _ in _OPS:
+        for level in levels:
+            cells = by_key[(op, level, "numpy")]["nCells"]
+            row = [op, by_key[(op, level, "numpy")]["pattern"] or "-", cells]
+            for backend in BACKENDS:
+                r = by_key[(op, level, backend)]
+                cell = f"{r['seconds'] * 1e6:.0f} us"
+                if r["resolved_backend"] != backend:
+                    cell += "*"
+                row.append(cell)
+            numpy_s = by_key[(op, level, "numpy")]["seconds"]
+            scatter_s = by_key[(op, level, "scatter")]["seconds"]
+            row.append(f"{scatter_s / numpy_s:.0f}x")
+            rows.append(row)
+    report(
+        "kernel_backends",
+        render_table(
+            f"Per-pattern backend timing (levels {levels}; * = numpy fallback)",
+            ["op", "pattern", "cells", *BACKENDS, "scatter/numpy"],
+            rows,
+        ),
+    )
+
+    # Sanity on the measurements themselves.
+    assert all(r["seconds"] > 0 for r in records)
+    # The Section III-A story: loop scatter is far slower than the gather
+    # form on every mesh of the ladder for the heavy A-pattern.
+    for level in levels:
+        numpy_s = by_key[("flux_divergence", level, "numpy")]["seconds"]
+        scatter_s = by_key[("flux_divergence", level, "scatter")]["seconds"]
+        assert scatter_s > numpy_s

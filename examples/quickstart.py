@@ -6,7 +6,11 @@ day on a small quasi-uniform SCVT mesh and reports the discretization error
 against the exact solution plus the conservation record — the minimal
 end-to-end exercise of the public API.
 
-Usage:  python examples/quickstart.py [icosahedron_level=3]
+Usage:  python examples/quickstart.py [icosahedron_level=3] [backend=numpy]
+
+``backend`` selects the engine execution backend (numpy/scatter/codegen);
+every stencil operator of the run dispatches through the kernel registry
+under that name.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ from repro.mesh import assess_quality, cached_mesh
 from repro.swm import ShallowWaterModel, SWConfig, steady_zonal_flow, suggested_dt
 
 
-def main(level: int = 3) -> None:
+def main(level: int = 3, backend: str = "numpy") -> None:
     print(f"Building quasi-uniform SCVT mesh (icosahedral level {level}) ...")
     t0 = time.perf_counter()
     mesh = cached_mesh(level)
@@ -30,8 +34,11 @@ def main(level: int = 3) -> None:
 
     case = steady_zonal_flow()
     dt = suggested_dt(mesh, case, GRAVITY, cfl=0.6)
-    print(f"\nRunning Williamson TC{case.number} ({case.name}), dt = {dt:.0f} s ...")
-    model = ShallowWaterModel(mesh, SWConfig(dt=dt))
+    print(
+        f"\nRunning Williamson TC{case.number} ({case.name}), dt = {dt:.0f} s, "
+        f"backend = {backend} ..."
+    )
+    model = ShallowWaterModel(mesh, SWConfig(dt=dt, backend=backend))
     model.initialize(case)
     t0 = time.perf_counter()
     result = model.run(days=1.0, invariant_interval=10)
@@ -57,4 +64,7 @@ def main(level: int = 3) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 3,
+        sys.argv[2] if len(sys.argv) > 2 else "numpy",
+    )

@@ -1,0 +1,215 @@
+"""Registration of the three built-in backends.
+
+One declarative table (:data:`OPS`) lists every stencil operator of the
+model with its Table I attribution and gather stencil; three registration
+passes then attach implementations:
+
+* ``numpy`` — the production gather operators (:mod:`repro.swm.operators`,
+  plus the A4 gather of :mod:`repro.swm.reconstruct` and the fused C1,C2
+  sweep of :mod:`repro.swm.advection`).  Complete by construction; also the
+  fallback for the other backends.
+* ``scatter`` — the Algorithm 2 / loop-order references of
+  :mod:`repro.swm.reference`.  Semantically the "original code" the paper
+  refactors away from; registered for correctness cross-checks and as the
+  baseline in backend benchmarks.
+* ``codegen`` — kernels compiled from the declarative
+  :data:`~repro.patterns.codegen.BUILTIN_SPECS`.  Single-field specs map
+   one-to-one; the two multi-field operators (``flux_divergence``,
+  ``coriolis_edge_term``) are *compositions* of compiled kernels with
+  point-local pre/post arithmetic — the same decomposition the Table I
+  catalog uses to price them.
+
+The Algorithm-1 kernel drivers are registered by name alongside, so the
+integrator and the CLI resolve them through the registry too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..patterns.codegen import BUILTIN_SPECS, compile_kernel
+from ..patterns.pattern import PatternKind
+from .registry import KernelRegistry
+
+__all__ = ["OPS", "OpSpec", "build_default_registry"]
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one registered operator (backend-independent)."""
+
+    op: str
+    pattern: str | None  # Table I label(s); None for helper operators
+    kind: str  # stencil shape letter A-H
+    stencil_attr: str | None  # gather table: "conn.X" / "tri.X"
+    no_split: bool = False
+
+
+#: Every stencil operator the model dispatches, in Table I order.
+OPS: tuple[OpSpec, ...] = (
+    OpSpec("flux_divergence", "A1", "A", "conn.edgesOnCell"),
+    OpSpec("kinetic_energy", "A2", "A", "conn.edgesOnCell"),
+    OpSpec("cell_divergence", "A3", "A", "conn.edgesOnCell"),
+    OpSpec("velocity_reconstruction", "A4", "A", "conn.edgesOnCell"),
+    OpSpec("coriolis_edge_term", "B1", "B", "tri.edgesOnEdge"),
+    OpSpec("tangential_velocity", "B2", "B", "tri.edgesOnEdge"),
+    # Fused C1,C2 sweep: tuple-valued, so the split executor refuses it.
+    OpSpec("d2fdx2", "C1,C2", "C", None, no_split=True),
+    OpSpec("cell_to_edge_mean", "D1", "D", "conn.cellsOnEdge"),
+    OpSpec("vertex_from_cells_kite", "E1", "E", "conn.cellsOnVertex"),
+    OpSpec("cell_from_vertices_kite", "F1", "F", "conn.verticesOnCell"),
+    OpSpec("vertex_to_edge_mean", "G1", "G", "conn.verticesOnEdge"),
+    OpSpec("vertex_curl", "H1", "H", "conn.edgesOnVertex"),
+    # Helper operators: gradients running inside the B1/G1 spans.
+    OpSpec("edge_gradient_of_cell", None, "D", "conn.cellsOnEdge"),
+    OpSpec("edge_gradient_of_vertex", None, "G", "conn.verticesOnEdge"),
+)
+
+
+def _stencil_fn(attr: str) -> Callable:
+    group, name = attr.split(".")
+
+    def stencil(mesh):
+        owner = mesh.connectivity if group == "conn" else mesh.trisk
+        return getattr(owner, name)
+
+    return stencil
+
+
+def _op_meta(spec: OpSpec) -> dict:
+    kind = PatternKind[spec.kind]
+    return {
+        "pattern": spec.pattern,
+        "kind": spec.kind,
+        "kernel": _kernel_of_label(spec.pattern),
+        "input_point": kind.input,
+        "output_point": kind.output,
+        "stencil": _stencil_fn(spec.stencil_attr) if spec.stencil_attr else None,
+        "no_split": spec.no_split,
+    }
+
+
+def _kernel_of_label(pattern: str | None) -> str | None:
+    if pattern is None:
+        return None
+    from ..patterns.catalog import build_catalog
+
+    label = pattern.split(",")[0]
+    for inst in build_catalog(None):
+        if inst.label == label:
+            return inst.kernel
+    raise KeyError(f"pattern {pattern!r} not in the Table I catalog")
+
+
+# ------------------------------------------------------------------- numpy
+def _register_numpy(reg: KernelRegistry, meta: dict) -> None:
+    from ..swm import operators as ops
+    from ..swm.advection import d2fdx2_raw
+    from ..swm.reconstruct import reconstruct_cell_vectors
+
+    impls = {
+        "flux_divergence": ops.flux_divergence,
+        "kinetic_energy": ops.cell_kinetic_energy,
+        "cell_divergence": ops.cell_divergence,
+        "velocity_reconstruction": reconstruct_cell_vectors,
+        "coriolis_edge_term": ops.coriolis_edge_term,
+        "tangential_velocity": ops.tangential_velocity,
+        "d2fdx2": d2fdx2_raw,
+        "cell_to_edge_mean": ops.cell_to_edge_mean,
+        "vertex_from_cells_kite": ops.vertex_from_cells_kite,
+        "cell_from_vertices_kite": ops.cell_from_vertices_kite,
+        "vertex_to_edge_mean": ops.vertex_to_edge_mean,
+        "vertex_curl": ops.vertex_curl,
+        "edge_gradient_of_cell": ops.edge_gradient_of_cell,
+        "edge_gradient_of_vertex": ops.edge_gradient_of_vertex,
+    }
+    for op, fn in impls.items():
+        reg.register(op, "numpy", fn, **meta[op])
+
+
+# ----------------------------------------------------------------- scatter
+def _register_scatter(reg: KernelRegistry) -> None:
+    from ..swm import reference as ref
+
+    impls = {
+        "flux_divergence": ref.flux_divergence_scatter,
+        "kinetic_energy": ref.cell_kinetic_energy_loop,
+        "cell_divergence": ref.cell_divergence_scatter,
+        "velocity_reconstruction": ref.velocity_reconstruction_loop,
+        "coriolis_edge_term": ref.coriolis_edge_term_loop,
+        "tangential_velocity": ref.tangential_velocity_loop,
+        "cell_to_edge_mean": ref.cell_to_edge_mean_loop,
+        "vertex_from_cells_kite": ref.vertex_from_cells_kite_loop,
+        "cell_from_vertices_kite": ref.cell_from_vertices_kite_loop,
+        "vertex_to_edge_mean": ref.vertex_to_edge_mean_loop,
+        "vertex_curl": ref.vertex_curl_loop,
+        "edge_gradient_of_cell": ref.edge_gradient_of_cell_loop,
+        "edge_gradient_of_vertex": ref.edge_gradient_of_vertex_loop,
+    }
+    for op, fn in impls.items():
+        reg.register(op, "scatter", fn)
+
+
+# ----------------------------------------------------------------- codegen
+def _register_codegen(reg: KernelRegistry) -> None:
+    compiled = {name: compile_kernel(spec) for name, spec in BUILTIN_SPECS.items()}
+
+    # Single-field specs map directly onto operators.
+    direct = {
+        "kinetic_energy": "kinetic_energy",
+        "cell_divergence": "divergence",
+        "tangential_velocity": "tangential_velocity",
+        "cell_to_edge_mean": "edge_mean_of_cells",
+        "vertex_from_cells_kite": "h_vertex",
+        "vertex_to_edge_mean": "edge_mean_of_vertices",
+        "vertex_curl": "vorticity",
+        "edge_gradient_of_cell": "edge_gradient_of_cell",
+        "edge_gradient_of_vertex": "edge_gradient_of_vertex",
+    }
+    for op, spec_name in direct.items():
+        reg.register(op, "codegen", compiled[spec_name])
+
+    # Multi-field operators: compositions of compiled kernels with
+    # point-local arithmetic (the X-part the catalog prices separately).
+    divergence = compiled["divergence"]
+    trisk = compiled["tangential_velocity"]
+
+    def flux_divergence(mesh, u_edge, h_edge):
+        return divergence(mesh, u_edge * h_edge)
+
+    def coriolis_edge_term(mesh, u_edge, h_edge, pv_edge):
+        # sum_j w_j f_j 0.5 (q_e + q_j) = 0.5 q_e K(f) + 0.5 K(f q),
+        # with K the compiled TRiSK stencil and f = u h the edge flux.
+        flux = u_edge * h_edge
+        return 0.5 * (pv_edge * trisk(mesh, flux) + trisk(mesh, flux * pv_edge))
+
+    reg.register("flux_divergence", "codegen", flux_divergence)
+    reg.register("coriolis_edge_term", "codegen", coriolis_edge_term)
+
+
+# ------------------------------------------------- Algorithm-1 kernel names
+def _register_kernels(reg: KernelRegistry) -> None:
+    from ..swm.boundary import enforce_boundary_edge
+    from ..swm.diagnostics import compute_solve_diagnostics
+    from ..swm.reconstruct import mpas_reconstruct
+    from ..swm.tendencies import compute_tend
+    from ..swm.timestep import accumulative_update, compute_next_substep_state
+
+    reg.register_kernel("compute_tend", compute_tend)
+    reg.register_kernel("enforce_boundary_edge", enforce_boundary_edge)
+    reg.register_kernel("compute_next_substep_state", compute_next_substep_state)
+    reg.register_kernel("compute_solve_diagnostics", compute_solve_diagnostics)
+    reg.register_kernel("accumulative_update", accumulative_update)
+    reg.register_kernel("mpas_reconstruct", mpas_reconstruct)
+
+
+def build_default_registry() -> KernelRegistry:
+    """A fresh registry with all three backends and kernel names registered."""
+    reg = KernelRegistry()
+    meta = {spec.op: _op_meta(spec) for spec in OPS}
+    _register_numpy(reg, meta)
+    _register_scatter(reg)
+    _register_codegen(reg)
+    _register_kernels(reg)
+    return reg

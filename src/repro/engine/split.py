@@ -1,0 +1,135 @@
+"""Split execution: one stencil operator partitioned across two devices.
+
+The hybrid layer's *adjustable* placements (the light-yellow boxes of the
+paper's Figure 4b) say a pattern instance should run a CPU fraction ``f`` on
+the host and ``1 - f`` on the accelerator.  Historically that split existed
+only inside the simulated :class:`~repro.hybrid.executor.HybridExecutor`;
+this module makes it real on two *logical* in-process devices so its
+correctness contract is checkable:
+
+* Output points are partitioned by a contiguous index cut at
+  ``floor(f * n_out)``; input points of each field use the same cut on
+  their own point type, so consecutive split patterns form a de-facto
+  host/device domain decomposition (Section III-C).
+* Each device holds only its own share of every input field.  Before the
+  kernel runs, the *boundary band* — the gathered input indices that fall
+  on the other device's side of the cut — is reconciled into the local
+  copy (this is the "redundant computations ... without destroying the
+  completeness of the pattern structure" transfer of the paper; its size
+  is counted into the metrics registry as ``engine.split.band_points``).
+* Because every registered stencil operator is a pure per-output-row
+  gather (the race-free Algorithm 3 form), the stitched result is bitwise
+  identical to unsplit execution — asserted by the test suite, which turns
+  the executor's modelled split timelines into a checkable semantics.
+
+Placements are activated with :func:`use_placements`, keyed by Table I
+label; :func:`repro.engine.registry.KernelRegistry.dispatch` consults them
+on every call.  Any object with ``device == "split"`` and a
+``cpu_fraction`` attribute qualifies — in practice a
+:class:`repro.hybrid.executor.Placement`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..obs.metrics import get_registry
+
+__all__ = ["use_placements", "active_placement", "active_placements", "run_split"]
+
+#: Table I label -> Placement, installed by :func:`use_placements`.
+_ACTIVE: dict[str, object] = {}
+
+
+def active_placements() -> dict[str, object]:
+    """The currently installed label -> placement mapping (read-only use)."""
+    return _ACTIVE
+
+
+def active_placement(label: str | None):
+    """The active placement for one Table I label (or a fused group)."""
+    if label is None or not _ACTIVE:
+        return None
+    p = _ACTIVE.get(label)
+    if p is not None:
+        return p
+    for part in label.split(","):
+        p = _ACTIVE.get(part)
+        if p is not None:
+            return p
+    return None
+
+
+@contextmanager
+def use_placements(placements: Mapping[str, object]) -> Iterator[dict[str, object]]:
+    """Temporarily route dispatches of the given Table I labels.
+
+    Only ``split`` placements change execution (single-device placements are
+    accepted and ignored: on one process every device is the local one).
+    """
+    for label, p in placements.items():
+        device = getattr(p, "device", None)
+        if device is None:
+            raise TypeError(f"placement for {label!r} has no device: {p!r}")
+        if device == "split" and not 0.0 < float(p.cpu_fraction) < 1.0:
+            raise ValueError(f"split placement for {label!r} needs 0 < f < 1")
+    old = dict(_ACTIVE)
+    _ACTIVE.update(placements)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE.clear()
+        _ACTIVE.update(old)
+
+
+def run_split(entry, fn, backend: str, mesh, fields, placement):
+    """Execute one operator split across two logical devices.
+
+    ``entry`` is the :class:`~repro.engine.registry.OpEntry`; ``fn`` the
+    resolved backend implementation; ``fields`` the positional input arrays
+    (all of ``entry.input_point`` type).  Returns the stitched output,
+    bitwise identical to ``fn(mesh, *fields)``.
+    """
+    if entry.stencil is None or entry.no_split:
+        raise ValueError(
+            f"operator {entry.op!r} does not support split execution"
+        )
+    if entry.input_point is None or entry.output_point is None:
+        raise ValueError(f"operator {entry.op!r} lacks point-type metadata")
+
+    f = float(placement.cpu_fraction)
+    n_out = entry.output_point.count(mesh)
+    n_in = entry.input_point.count(mesh)
+    cut_out = min(max(int(f * n_out), 1), n_out - 1)
+    cut_in = min(max(int(f * n_in), 1), n_in - 1)
+
+    table = np.asarray(entry.stencil(mesh))
+    metrics = get_registry()
+    parts = []
+    for device, rows, owned in (
+        ("cpu", slice(0, cut_out), slice(0, cut_in)),
+        ("mic", slice(cut_out, n_out), slice(cut_in, n_in)),
+    ):
+        sub = table[rows]
+        needed = np.unique(sub[sub >= 0])
+        owned_mask = np.zeros(n_in, dtype=bool)
+        owned_mask[owned] = True
+        band = needed[~owned_mask[needed]]
+        metrics.counter(
+            "engine.split.band_points", op=entry.op, device=device, backend=backend
+        ).inc(band.size)
+        # Each device's local copy: its own contiguous share plus the
+        # reconciled boundary band; everything else stays zero (absent).
+        local_fields = []
+        for field_arr in fields:
+            local = np.zeros_like(field_arr)
+            local[owned] = field_arr[owned]
+            local[band] = field_arr[band]
+            local_fields.append(local)
+        full = np.asarray(fn(mesh, *local_fields))
+        parts.append(full[rows])
+    metrics.gauge("engine.split.cpu_fraction", op=entry.op).set(f)
+    return np.concatenate(parts, axis=0)

@@ -31,10 +31,13 @@ from .trace import SpanRecord, Tracer, use_tracer
 
 __all__ = [
     "PatternCost",
+    "BackendCost",
     "measured_pattern_costs",
     "modeled_pattern_costs",
     "measured_vs_modeled",
     "render_cost_report",
+    "backend_cost_rows",
+    "render_backend_cost_report",
     "kernel_profile_rows",
     "render_kernel_profile",
     "run_traced",
@@ -194,6 +197,55 @@ def render_cost_report(rows: list[PatternCost], title: str) -> str:
     )
 
 
+# --------------------------------------------------------- per-backend costs
+@dataclass(frozen=True)
+class BackendCost:
+    """One ``engine.op`` timer series: an operator under one backend."""
+
+    pattern: str
+    op: str
+    backend: str
+    calls: int
+    total_s: float
+    mean_s: float
+
+
+def backend_cost_rows(registry: MetricsRegistry) -> list[BackendCost]:
+    """Per-backend per-pattern dispatch costs from the ``engine.op`` timers.
+
+    Every registry dispatch is timed into a series tagged
+    ``(op, pattern, backend)`` (see :meth:`repro.engine.KernelRegistry.
+    dispatch`), so one run — or several runs under different backends into
+    the same registry — yields directly comparable rows.
+    """
+    rows = [
+        BackendCost(
+            pattern=str(s.tags.get("pattern", "-")),
+            op=str(s.tags.get("op", "?")),
+            backend=str(s.tags.get("backend", "?")),
+            calls=s.count,
+            total_s=s.total,
+            mean_s=s.mean,
+        )
+        for s in registry.series("engine.op")
+    ]
+    rows.sort(key=lambda r: (-r.total_s, r.pattern, r.op, r.backend))
+    return rows
+
+
+def render_backend_cost_report(rows: list[BackendCost], title: str) -> str:
+    """The per-backend per-pattern dispatch-cost table."""
+    from ..bench.tables import fmt_time, render_table
+
+    table_rows = [
+        [r.pattern, r.op, r.backend, r.calls, fmt_time(r.total_s), fmt_time(r.mean_s)]
+        for r in rows
+    ]
+    return render_table(
+        title, ["pattern", "op", "backend", "calls", "total", "mean"], table_rows
+    )
+
+
 # ------------------------------------------------------------- kernel profile
 def kernel_profile_rows(tracer: Tracer) -> list[list[str]]:
     """The classic per-kernel breakdown (kernel, wall time, share)."""
@@ -227,12 +279,15 @@ def run_traced(
     steps: int = 10,
     config=None,
     warmup: bool = True,
+    backend: str = "numpy",
 ) -> tuple[Tracer, MetricsRegistry, object, object]:
     """Integrate ``steps`` RK-4 steps with tracing on.
 
     Returns ``(tracer, registry, mesh, config)``.  A warm-up step (untraced)
     pays the one-time per-mesh setup — reconstruction matrices, deriv_two
     coefficients — so the spans measure steady-state kernel cost.
+    ``backend`` selects the engine execution backend (ignored when an
+    explicit ``config`` is given — set ``config.backend`` instead).
     """
     import repro.swm as swm
     from ..constants import GRAVITY
@@ -251,6 +306,7 @@ def run_traced(
         config = SWConfig(
             dt=suggested_dt(mesh, test_case, GRAVITY, cfl=0.5),
             thickness_adv_order=4,
+            backend=backend,
         )
     state, b_cell = initialize(mesh, test_case)
     f_vertex = config.coriolis(mesh.metrics.latVertex)
@@ -286,6 +342,15 @@ def _selftest() -> int:
         print(f"selftest FAILED: no measured time for patterns {missing}")
         return 1
 
+    backend_rows = backend_cost_rows(registry)
+    if not backend_rows:
+        print("selftest FAILED: no engine.op dispatch series recorded")
+        return 1
+    bad = [r for r in backend_rows if r.backend != config.backend or r.calls <= 0]
+    if bad:
+        print(f"selftest FAILED: engine.op rows with wrong backend tag: {bad}")
+        return 1
+
     with tempfile.TemporaryDirectory() as tmp:
         chrome = Path(tmp) / "trace.json"
         jsonl = Path(tmp) / "run.jsonl"
@@ -308,8 +373,8 @@ def _selftest() -> int:
     print(
         f"obs selftest OK: {len(tracer.finished())} spans, "
         f"{len(registry)} metric series, {n_events} trace events, "
-        f"{n_records} JSONL records, max |drift| = "
-        f"{max(abs(r.drift_pp) for r in rows):.1f} pp"
+        f"{n_records} JSONL records, {len(backend_rows)} engine.op series, "
+        f"max |drift| = {max(abs(r.drift_pp) for r in rows):.1f} pp"
     )
     return 0
 
@@ -376,6 +441,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="also print the per-kernel breakdown")
     parser.add_argument("--overhead", action="store_true",
                         help="measure tracing overhead (traced/untraced ratio)")
+    parser.add_argument("--backend", default="numpy",
+                        help="engine execution backend (numpy/scatter/codegen)")
+    parser.add_argument("--compare-backends", action="store_true",
+                        help="run under every backend and print the "
+                             "per-backend per-pattern dispatch costs")
     args = parser.parse_args(argv)
 
     if args.selftest:
@@ -387,12 +457,36 @@ def main(argv: list[str] | None = None) -> int:
               f"({args.steps} steps, level {args.level})")
         return 0
 
-    tracer, registry, mesh, config = run_traced(args.case, args.level, args.steps)
+    if args.compare_backends:
+        from ..engine import BACKENDS
+
+        all_rows: list[BackendCost] = []
+        for backend in BACKENDS:
+            _, registry, mesh, _ = run_traced(
+                args.case, args.level, args.steps, backend=backend
+            )
+            all_rows.extend(backend_cost_rows(registry))
+        all_rows.sort(key=lambda r: (r.pattern, r.op, r.backend))
+        print(render_backend_cost_report(
+            all_rows,
+            f"Per-backend per-pattern dispatch cost ({args.case}, "
+            f"{mesh.nCells} cells, {args.steps} steps)",
+        ))
+        return 0
+
+    tracer, registry, mesh, config = run_traced(
+        args.case, args.level, args.steps, backend=args.backend
+    )
     rows = measured_vs_modeled(tracer, mesh, config)
     print(render_cost_report(
         rows,
         f"Measured vs modeled per-pattern cost ({args.case}, "
         f"{mesh.nCells} cells, {args.steps} steps)",
+    ))
+    print()
+    print(render_backend_cost_report(
+        backend_cost_rows(registry),
+        f"Per-backend per-pattern dispatch cost (backend={args.backend})",
     ))
     if args.kernels:
         print()

@@ -27,11 +27,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import dispatch
 from ..geometry.sphere import tangent_basis, tangent_plane_coords
 from ..mesh.mesh import Mesh
 from ..obs.instrument import pattern_span
 
-__all__ = ["AdvectionCoefficients", "advection_coefficients", "d2fdx2_on_edges", "h_edge_high_order"]
+__all__ = [
+    "AdvectionCoefficients",
+    "advection_coefficients",
+    "d2fdx2_raw",
+    "d2fdx2_on_edges",
+    "h_edge_high_order",
+]
 
 
 @dataclass(frozen=True, eq=False)
@@ -112,17 +119,28 @@ def advection_coefficients(mesh: Mesh) -> AdvectionCoefficients:
     return coeffs
 
 
-def d2fdx2_on_edges(mesh: Mesh, h_cell: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Second derivative of ``h`` along each edge at its two cells.
+def d2fdx2_raw(mesh: Mesh, h_cell: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The fused C1,C2 sweep alone (no span): ``(d2fdx2_cell1, d2fdx2_cell2)``.
 
-    Returns ``(d2fdx2_cell1, d2fdx2_cell2)`` — the Table I variables.
+    Registered as the ``numpy`` implementation of the ``d2fdx2`` operator;
+    tuple-valued, so the split executor refuses to partition it.
     """
     coeffs = advection_coefficients(mesh)
     # One vectorized sweep evaluates both Table I instances (C1 and C2);
     # the fused span is split between them at report time.
-    with pattern_span("C1,C2", mesh):
-        d2 = np.sum(coeffs.weights * h_cell[coeffs.cells], axis=2)
+    d2 = np.sum(coeffs.weights * h_cell[coeffs.cells], axis=2)
     return d2[:, 0], d2[:, 1]
+
+
+def d2fdx2_on_edges(
+    mesh: Mesh, h_cell: np.ndarray, backend: str = "numpy"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Second derivative of ``h`` along each edge at its two cells.
+
+    Returns ``(d2fdx2_cell1, d2fdx2_cell2)`` — the Table I variables.
+    """
+    with pattern_span("C1,C2", mesh, backend=backend):
+        return dispatch("d2fdx2", mesh, h_cell, backend=backend)
 
 
 def h_edge_high_order(
@@ -131,14 +149,13 @@ def h_edge_high_order(
     u_edge: np.ndarray,
     order: int,
     coef_3rd_order: float = 0.25,
+    backend: str = "numpy",
 ) -> np.ndarray:
     """Thickness interpolated to edges at 2nd, 3rd or 4th order."""
-    from .operators import cell_to_edge_mean  # local import avoids a cycle
-
-    mean = cell_to_edge_mean(mesh, h_cell)
+    mean = dispatch("cell_to_edge_mean", mesh, h_cell, backend=backend)
     if order == 2:
         return mean
-    d2_1, d2_2 = d2fdx2_on_edges(mesh, h_cell)
+    d2_1, d2_2 = d2fdx2_on_edges(mesh, h_cell, backend=backend)
     dc2_12 = mesh.metrics.dcEdge**2 / 12.0
     h_edge = mean - dc2_12 * 0.5 * (d2_1 + d2_2)
     if order == 4:

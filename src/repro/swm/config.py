@@ -42,6 +42,10 @@ class SWConfig:
         Freeze the velocity field and integrate only the thickness equation
         (the Williamson TC1 passive-advection configuration): ``tend_u`` is
         forced to zero every substage.
+    backend : str
+        Execution backend for the stencil operators (``"numpy"``,
+        ``"scatter"`` or ``"codegen"``); every kernel dispatches through the
+        :mod:`repro.engine` registry under this name.
     """
 
     dt: float
@@ -56,6 +60,7 @@ class SWConfig:
     #: (MPAS ``config_h_mom_eddy_visc4``).
     hyperviscosity: float = 0.0
     advection_only: bool = False
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.dt <= 0.0:
@@ -66,6 +71,10 @@ class SWConfig:
             raise ValueError("viscosity must be non-negative")
         if self.hyperviscosity < 0.0:
             raise ValueError("hyperviscosity must be non-negative")
+        from ..engine import BACKENDS  # deferred: config must stay import-light
+
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
 
     def coriolis(self, lat: np.ndarray) -> np.ndarray:
         """Coriolis parameter at the given latitudes (radians)."""

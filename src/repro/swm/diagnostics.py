@@ -12,21 +12,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import dispatch
 from ..mesh.mesh import Mesh
 from ..obs.instrument import pattern_span
 from .advection import h_edge_high_order
 from .config import SWConfig
-from .operators import (
-    cell_divergence,
-    cell_from_vertices_kite,
-    cell_kinetic_energy,
-    edge_gradient_of_cell,
-    edge_gradient_of_vertex,
-    tangential_velocity,
-    vertex_curl,
-    vertex_from_cells_kite,
-    vertex_to_edge_mean,
-)
 from .state import Diagnostics, State
 
 __all__ = ["compute_solve_diagnostics"]
@@ -51,22 +41,24 @@ def compute_solve_diagnostics(
         ``apvm_upwinding`` and ``thickness_adv_order`` are honoured here.
     """
     h, u = state.h, state.u
+    backend = config.backend
 
     # Pattern D1 (with the fused C1,C2 sweep nested inside for high order).
-    with pattern_span("D1", mesh):
+    with pattern_span("D1", mesh, backend=backend):
         h_edge = h_edge_high_order(
-            mesh, h, u, config.thickness_adv_order, config.coef_3rd_order
+            mesh, h, u, config.thickness_adv_order, config.coef_3rd_order,
+            backend=backend,
         )
-    with pattern_span("A2", mesh):
-        ke = cell_kinetic_energy(mesh, u)
-    with pattern_span("H1", mesh):
-        vorticity = vertex_curl(mesh, u)
-    with pattern_span("A3", mesh):
-        divergence = cell_divergence(mesh, u)
-    with pattern_span("B2", mesh):
-        v = tangential_velocity(mesh, u)
-    with pattern_span("E1", mesh):
-        h_vertex = vertex_from_cells_kite(mesh, h)
+    with pattern_span("A2", mesh, backend=backend):
+        ke = dispatch("kinetic_energy", mesh, u, backend=backend)
+    with pattern_span("H1", mesh, backend=backend):
+        vorticity = dispatch("vertex_curl", mesh, u, backend=backend)
+    with pattern_span("A3", mesh, backend=backend):
+        divergence = dispatch("cell_divergence", mesh, u, backend=backend)
+    with pattern_span("B2", mesh, backend=backend):
+        v = dispatch("tangential_velocity", mesh, u, backend=backend)
+    with pattern_span("E1", mesh, backend=backend):
+        h_vertex = dispatch("vertex_from_cells_kite", mesh, h, backend=backend)
         unstable = bool(np.any(h_vertex <= 0.0))
         if not unstable:
             pv_vertex = (f_vertex + vorticity) / h_vertex
@@ -75,16 +67,18 @@ def compute_solve_diagnostics(
             "non-positive h_vertex: the simulation has gone unstable "
             "(reduce dt or check the initial condition)"
         )
-    with pattern_span("F1", mesh):
-        pv_cell = cell_from_vertices_kite(mesh, pv_vertex)
-    with pattern_span("G1", mesh):
-        pv_edge = vertex_to_edge_mean(mesh, pv_vertex)
+    with pattern_span("F1", mesh, backend=backend):
+        pv_cell = dispatch("cell_from_vertices_kite", mesh, pv_vertex, backend=backend)
+    with pattern_span("G1", mesh, backend=backend):
+        pv_edge = dispatch("vertex_to_edge_mean", mesh, pv_vertex, backend=backend)
 
         if config.apvm_upwinding != 0.0:
             # Anticipated PV method: upwind pv_edge along the full velocity
             # vector, damping the enstrophy cascade (Ringler et al. 2010).
-            grad_pv_t = edge_gradient_of_vertex(mesh, pv_vertex)
-            grad_pv_n = edge_gradient_of_cell(mesh, pv_cell)
+            grad_pv_t = dispatch(
+                "edge_gradient_of_vertex", mesh, pv_vertex, backend=backend
+            )
+            grad_pv_n = dispatch("edge_gradient_of_cell", mesh, pv_cell, backend=backend)
             factor = config.apvm_upwinding * config.dt
             pv_edge = pv_edge - factor * (v * grad_pv_t + u * grad_pv_n)
 

@@ -25,19 +25,30 @@ __all__ = ["KernelProfile", "ProfiledIntegrator"]
 
 @dataclass
 class KernelProfile:
-    """Accumulated wall time per kernel, in seconds."""
+    """Accumulated wall time per kernel, in seconds.
+
+    ``by_backend`` additionally buckets the same times per execution backend
+    (``"numpy"`` / ``"scatter"`` / ``"codegen"``) when the spans carry the
+    engine's ``backend`` tag; callers that predate the engine see the exact
+    ``seconds``/``steps`` accumulator they always did.
+    """
 
     seconds: dict[str, float] = field(default_factory=dict)
     steps: int = 0
+    by_backend: dict[str, dict[str, float]] = field(default_factory=dict)
 
-    def add(self, kernel: str, dt: float) -> None:
+    def add(self, kernel: str, dt: float, backend: str | None = None) -> None:
         self.seconds[kernel] = self.seconds.get(kernel, 0.0) + dt
+        if backend is not None:
+            bucket = self.by_backend.setdefault(backend, {})
+            bucket[kernel] = bucket.get(kernel, 0.0) + dt
 
     def reset(self) -> None:
         """Clear accumulated times (e.g. after a warm-up step that pays the
         one-time coefficient/matrix construction costs)."""
         self.seconds.clear()
         self.steps = 0
+        self.by_backend.clear()
 
     def fractions(self) -> dict[str, float]:
         total = sum(self.seconds.values())
@@ -72,6 +83,11 @@ class ProfiledIntegrator(RK4Integrator):
             result = super().step(state, diag)
         for span in self.tracer.spans[mark:]:
             if span.category == "kernel" and span.end is not None:
-                self.profile.add(span.name, span.duration)
+                backend = span.tags.get("backend")
+                self.profile.add(
+                    span.name,
+                    span.duration,
+                    backend=str(backend) if backend is not None else None,
+                )
         self.profile.steps += 1
         return result

@@ -19,12 +19,13 @@ import weakref
 
 import numpy as np
 
+from ..engine import dispatch
 from ..geometry.sphere import tangent_basis
 from ..mesh.mesh import Mesh
 from ..obs.instrument import pattern_span
 from .state import Reconstruction
 
-__all__ = ["mpas_reconstruct", "reconstruction_matrices"]
+__all__ = ["mpas_reconstruct", "reconstruct_cell_vectors", "reconstruction_matrices"]
 
 _CACHE: "weakref.WeakKeyDictionary[Mesh, np.ndarray]" = weakref.WeakKeyDictionary()
 
@@ -55,19 +56,31 @@ def reconstruction_matrices(mesh: Mesh) -> np.ndarray:
     return mats
 
 
-def mpas_reconstruct(mesh: Mesh, u_edge: np.ndarray) -> Reconstruction:
-    """Reconstruct cell-centre velocities from edge normal components."""
-    conn, met = mesh.connectivity, mesh.metrics
+def reconstruct_cell_vectors(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+    """The A4 gather alone: per-cell 3D velocity vectors, shape (nCells, 3).
+
+    This is the ``numpy``-backend registration of the ``velocity_reconstruction``
+    operator; :func:`mpas_reconstruct` dispatches it through the engine.
+    """
+    conn = mesh.connectivity
     mats = reconstruction_matrices(mesh)
+    eoc = np.where(conn.edgesOnCell >= 0, conn.edgesOnCell, 0)
+    mask = (conn.edgesOnCell >= 0).astype(np.float64)
+    gathered = u_edge[eoc] * mask  # (nCells, maxEdges)
+    return np.einsum("cik,ck->ci", mats, gathered)
+
+
+def mpas_reconstruct(
+    mesh: Mesh, u_edge: np.ndarray, backend: str = "numpy"
+) -> Reconstruction:
+    """Reconstruct cell-centre velocities from edge normal components."""
+    met = mesh.metrics
     # Pattern A4: cell vector from neighbouring edges.
-    with pattern_span("A4", mesh):
-        eoc = np.where(conn.edgesOnCell >= 0, conn.edgesOnCell, 0)
-        mask = (conn.edgesOnCell >= 0).astype(np.float64)
-        gathered = u_edge[eoc] * mask  # (nCells, maxEdges)
-        U = np.einsum("cik,ck->ci", mats, gathered)
+    with pattern_span("A4", mesh, backend=backend):
+        U = dispatch("velocity_reconstruction", mesh, u_edge, backend=backend)
 
     # Local X6: change of basis at each cell.
-    with pattern_span("X6", mesh):
+    with pattern_span("X6", mesh, backend=backend):
         east, north = tangent_basis(met.xCell)
         zonal = np.sum(U * east, axis=1)
         meridional = np.sum(U * north, axis=1)

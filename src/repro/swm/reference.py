@@ -22,6 +22,13 @@ __all__ = [
     "tangential_velocity_loop",
     "vertex_from_cells_kite_loop",
     "cell_from_vertices_kite_loop",
+    "flux_divergence_scatter",
+    "coriolis_edge_term_loop",
+    "cell_to_edge_mean_loop",
+    "vertex_to_edge_mean_loop",
+    "edge_gradient_of_cell_loop",
+    "edge_gradient_of_vertex_loop",
+    "velocity_reconstruction_loop",
 ]
 
 
@@ -100,6 +107,110 @@ def vertex_from_cells_kite_loop(mesh: Mesh, phi_cell: np.ndarray) -> np.ndarray:
         for j in range(3):
             acc += met.kiteAreasOnVertex[v, j] * phi_cell[conn.cellsOnVertex[v, j]]
         out[v] = acc / met.areaTriangle[v]
+    return out
+
+
+def flux_divergence_scatter(
+    mesh: Mesh, u_edge: np.ndarray, h_edge: np.ndarray
+) -> np.ndarray:
+    """Edge-order scatter of the thickness-flux divergence (Algorithm 2).
+
+    The ``tend_h`` access pattern of the original MPAS loop: traverse edges,
+    accumulate ``h_e u_e dv_e`` into the two adjacent cells with opposite
+    signs.
+    """
+    conn, met = mesh.connectivity, mesh.metrics
+    out = np.zeros(conn.n_cells, dtype=np.float64)
+    for e in range(conn.n_edges):
+        c0 = conn.cellsOnEdge[e, 0]
+        c1 = conn.cellsOnEdge[e, 1]
+        flux = u_edge[e] * h_edge[e] * met.dvEdge[e]
+        out[c0] += flux
+        out[c1] -= flux
+    return out / met.areaCell
+
+
+def coriolis_edge_term_loop(
+    mesh: Mesh, u_edge: np.ndarray, h_edge: np.ndarray, pv_edge: np.ndarray
+) -> np.ndarray:
+    """Edge-order loop of the nonlinear Coriolis/PV term (TRiSK form)."""
+    tri = mesh.trisk
+    out = np.zeros(mesh.nEdges, dtype=np.float64)
+    for e in range(mesh.nEdges):
+        acc = 0.0
+        for j in range(int(tri.nEdgesOnEdge[e])):
+            ep = int(tri.edgesOnEdge[e, j])
+            acc += (
+                tri.weightsOnEdge[e, j]
+                * u_edge[ep]
+                * h_edge[ep]
+                * 0.5
+                * (pv_edge[e] + pv_edge[ep])
+            )
+        out[e] = acc
+    return out
+
+
+def cell_to_edge_mean_loop(mesh: Mesh, phi_cell: np.ndarray) -> np.ndarray:
+    """Edge-order loop of the two-cell average (2nd-order ``h_edge``)."""
+    conn = mesh.connectivity
+    out = np.zeros(mesh.nEdges, dtype=np.float64)
+    for e in range(mesh.nEdges):
+        out[e] = 0.5 * (
+            phi_cell[conn.cellsOnEdge[e, 0]] + phi_cell[conn.cellsOnEdge[e, 1]]
+        )
+    return out
+
+
+def vertex_to_edge_mean_loop(mesh: Mesh, phi_vertex: np.ndarray) -> np.ndarray:
+    """Edge-order loop of the two-endpoint average (2nd-order ``pv_edge``)."""
+    conn = mesh.connectivity
+    out = np.zeros(mesh.nEdges, dtype=np.float64)
+    for e in range(mesh.nEdges):
+        out[e] = 0.5 * (
+            phi_vertex[conn.verticesOnEdge[e, 0]] + phi_vertex[conn.verticesOnEdge[e, 1]]
+        )
+    return out
+
+
+def edge_gradient_of_cell_loop(mesh: Mesh, phi_cell: np.ndarray) -> np.ndarray:
+    """Edge-order loop of the normal gradient of a cell field."""
+    conn, met = mesh.connectivity, mesh.metrics
+    out = np.zeros(mesh.nEdges, dtype=np.float64)
+    for e in range(mesh.nEdges):
+        out[e] = (
+            phi_cell[conn.cellsOnEdge[e, 1]] - phi_cell[conn.cellsOnEdge[e, 0]]
+        ) / met.dcEdge[e]
+    return out
+
+
+def edge_gradient_of_vertex_loop(mesh: Mesh, phi_vertex: np.ndarray) -> np.ndarray:
+    """Edge-order loop of the tangential gradient of a vertex field."""
+    conn, met = mesh.connectivity, mesh.metrics
+    out = np.zeros(mesh.nEdges, dtype=np.float64)
+    for e in range(mesh.nEdges):
+        out[e] = (
+            phi_vertex[conn.verticesOnEdge[e, 1]] - phi_vertex[conn.verticesOnEdge[e, 0]]
+        ) / met.dvEdge[e]
+    return out
+
+
+def velocity_reconstruction_loop(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+    """Cell-order loop of the A4 velocity reconstruction.
+
+    Applies the same per-cell least-squares matrices as the production
+    kernel (:func:`repro.swm.reconstruct.reconstruction_matrices`), one cell
+    at a time — the Fortran-style transcription of the pattern-A gather.
+    """
+    from .reconstruct import reconstruction_matrices
+
+    conn = mesh.connectivity
+    mats = reconstruction_matrices(mesh)
+    out = np.zeros((conn.n_cells, 3), dtype=np.float64)
+    for c in range(conn.n_cells):
+        n = int(conn.nEdgesOnCell[c])
+        edges = conn.edgesOnCell[c, :n]
+        out[c] = mats[c, :, :n] @ u_edge[edges]
     return out
 
 

@@ -18,15 +18,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import dispatch
 from ..mesh.mesh import Mesh
 from ..obs.instrument import pattern_span
 from .config import SWConfig
-from .operators import (
-    coriolis_edge_term,
-    edge_gradient_of_cell,
-    edge_gradient_of_vertex,
-    flux_divergence,
-)
 from .state import Diagnostics, State
 
 __all__ = ["compute_tend"]
@@ -51,23 +46,27 @@ def compute_tend(
     b_cell : (nCells,) array
         Bottom topography.
     """
+    backend = config.backend
     # Pattern A1: mass tendency, gather over the edges of each cell.
-    with pattern_span("A1", mesh):
-        tend_h = -flux_divergence(mesh, state.u, diag.h_edge)
+    with pattern_span("A1", mesh, backend=backend):
+        tend_h = -dispatch("flux_divergence", mesh, state.u, diag.h_edge, backend=backend)
 
     if config.advection_only:
         # TC1-style passive advection: the wind is prescribed and frozen.
         return tend_h, np.zeros_like(state.u)
 
-    with pattern_span("B1", mesh):
+    with pattern_span("B1", mesh, backend=backend):
         # Pattern B1: nonlinear Coriolis term over the TRiSK edge
         # neighbourhood (the catalog prices the whole momentum RHS as B1,
         # including the Bernoulli gradient and optional del2 terms).
-        q_term = coriolis_edge_term(mesh, state.u, diag.h_edge, diag.pv_edge)
+        q_term = dispatch(
+            "coriolis_edge_term", mesh, state.u, diag.h_edge, diag.pv_edge,
+            backend=backend,
+        )
 
         # Pattern C-type: normal gradient of the Bernoulli function.
         bernoulli = diag.ke + config.gravity * (state.h + b_cell)
-        grad_b = edge_gradient_of_cell(mesh, bernoulli)
+        grad_b = dispatch("edge_gradient_of_cell", mesh, bernoulli, backend=backend)
 
         # Combine the momentum contributions.
         tend_u = q_term - grad_b
@@ -75,8 +74,12 @@ def compute_tend(
         if config.viscosity != 0.0:
             # del2 dissipation in vector-invariant form:
             #   nu * (grad(div) - k x grad(vorticity))
-            grad_div = edge_gradient_of_cell(mesh, diag.divergence)
-            grad_vort = edge_gradient_of_vertex(mesh, diag.vorticity)
+            grad_div = dispatch(
+                "edge_gradient_of_cell", mesh, diag.divergence, backend=backend
+            )
+            grad_vort = dispatch(
+                "edge_gradient_of_vertex", mesh, diag.vorticity, backend=backend
+            )
             tend_u = tend_u + config.viscosity * (grad_div - grad_vort)
 
     if config.hyperviscosity != 0.0:
@@ -84,16 +87,14 @@ def compute_tend(
         # already-computed divergence/vorticity for the first application,
         # then takes div/curl of the del2 field (one extra A+H pass — the
         # same pattern pair the Table I catalog prices for this option).
-        from .operators import cell_divergence, vertex_curl
-
-        del2_u = edge_gradient_of_cell(mesh, diag.divergence) - (
-            edge_gradient_of_vertex(mesh, diag.vorticity)
-        )
-        div2 = cell_divergence(mesh, del2_u)
-        vort2 = vertex_curl(mesh, del2_u)
-        del4_u = edge_gradient_of_cell(mesh, div2) - edge_gradient_of_vertex(
-            mesh, vort2
-        )
+        del2_u = dispatch(
+            "edge_gradient_of_cell", mesh, diag.divergence, backend=backend
+        ) - dispatch("edge_gradient_of_vertex", mesh, diag.vorticity, backend=backend)
+        div2 = dispatch("cell_divergence", mesh, del2_u, backend=backend)
+        vort2 = dispatch("vertex_curl", mesh, del2_u, backend=backend)
+        del4_u = dispatch(
+            "edge_gradient_of_cell", mesh, div2, backend=backend
+        ) - dispatch("edge_gradient_of_vertex", mesh, vort2, backend=backend)
         tend_u = tend_u - config.hyperviscosity * del4_u
 
     return tend_h, tend_u

@@ -25,12 +25,8 @@ import numpy as np
 
 from ..mesh.mesh import Mesh
 from ..obs.instrument import kernel_span, pattern_span
-from .boundary import enforce_boundary_edge
 from .config import SWConfig
-from .diagnostics import compute_solve_diagnostics
-from .reconstruct import mpas_reconstruct
 from .state import Diagnostics, Reconstruction, State
-from .tendencies import compute_tend
 
 __all__ = ["RK4Integrator", "StepResult", "RK_SUBSTEP_WEIGHTS", "RK_ACCUMULATE_WEIGHTS"]
 
@@ -79,6 +75,10 @@ def accumulative_update(
 class RK4Integrator:
     """Drives the shallow-water core through RK-4 steps.
 
+    The six Algorithm-1 kernels are resolved by *name* from the engine's
+    :func:`~repro.engine.default_registry` (or an explicit ``registry``), so
+    an instrumented or substituted kernel table drives the exact same loop.
+
     Parameters
     ----------
     mesh : Mesh
@@ -89,6 +89,9 @@ class RK4Integrator:
         Coriolis parameter at vorticity points.
     boundary_mask : (nEdges,) bool array, optional
         Edges on which ``enforce_boundary_edge`` zeroes the tendency.
+    registry : KernelRegistry, optional
+        Kernel table to resolve the Algorithm-1 names from; defaults to the
+        process-wide engine registry.
     """
 
     def __init__(
@@ -98,7 +101,17 @@ class RK4Integrator:
         b_cell: np.ndarray,
         f_vertex: np.ndarray,
         boundary_mask: np.ndarray | None = None,
+        registry=None,
     ) -> None:
+        from ..engine import default_registry
+
+        reg = registry if registry is not None else default_registry()
+        self._compute_tend = reg.kernel("compute_tend")
+        self._enforce_boundary_edge = reg.kernel("enforce_boundary_edge")
+        self._compute_next_substep_state = reg.kernel("compute_next_substep_state")
+        self._compute_solve_diagnostics = reg.kernel("compute_solve_diagnostics")
+        self._accumulative_update = reg.kernel("accumulative_update")
+        self._mpas_reconstruct = reg.kernel("mpas_reconstruct")
         self.mesh = mesh
         self.config = config
         self.b_cell = np.asarray(b_cell, dtype=np.float64)
@@ -120,7 +133,9 @@ class RK4Integrator:
 
     def diagnostics_for(self, state: State) -> Diagnostics:
         """Diagnostics consistent with an arbitrary state (e.g. the IC)."""
-        return compute_solve_diagnostics(self.mesh, state, self.f_vertex, self.config)
+        return self._compute_solve_diagnostics(
+            self.mesh, state, self.f_vertex, self.config
+        )
 
     def step(self, state: State, diag: Diagnostics) -> StepResult:
         """Advance one full time step (Algorithm 1, inner loop).
@@ -133,36 +148,43 @@ class RK4Integrator:
         provis_diag = diag
         acc = state.copy()
 
+        backend = self.config.backend
         new_diag: Diagnostics | None = None
         for stage in range(4):
             self.exchange_halo(provis)
-            with kernel_span("compute_tend", stage=stage):
-                tend_h, tend_u = compute_tend(
+            with kernel_span("compute_tend", stage=stage, backend=backend):
+                tend_h, tend_u = self._compute_tend(
                     self.mesh, provis, provis_diag, self.b_cell, self.config
                 )
-            with kernel_span("enforce_boundary_edge", stage=stage):
-                enforce_boundary_edge(tend_u, self.boundary_mask)
-            with kernel_span("accumulative_update", stage=stage):
-                accumulative_update(
+            with kernel_span("enforce_boundary_edge", stage=stage, backend=backend):
+                self._enforce_boundary_edge(tend_u, self.boundary_mask)
+            with kernel_span("accumulative_update", stage=stage, backend=backend):
+                self._accumulative_update(
                     acc, tend_h, tend_u, RK_ACCUMULATE_WEIGHTS[stage] * dt
                 )
             if stage < 3:
-                with kernel_span("compute_next_substep_state", stage=stage):
-                    provis = compute_next_substep_state(
+                with kernel_span(
+                    "compute_next_substep_state", stage=stage, backend=backend
+                ):
+                    provis = self._compute_next_substep_state(
                         state, tend_h, tend_u, RK_SUBSTEP_WEIGHTS[stage] * dt
                     )
                 self.exchange_halo(provis)
-                with kernel_span("compute_solve_diagnostics", stage=stage):
-                    provis_diag = compute_solve_diagnostics(
+                with kernel_span(
+                    "compute_solve_diagnostics", stage=stage, backend=backend
+                ):
+                    provis_diag = self._compute_solve_diagnostics(
                         self.mesh, provis, self.f_vertex, self.config
                     )
             else:
                 self.exchange_halo(acc)
-                with kernel_span("compute_solve_diagnostics", stage=stage):
-                    new_diag = compute_solve_diagnostics(
+                with kernel_span(
+                    "compute_solve_diagnostics", stage=stage, backend=backend
+                ):
+                    new_diag = self._compute_solve_diagnostics(
                         self.mesh, acc, self.f_vertex, self.config
                     )
-        with kernel_span("mpas_reconstruct"):
-            recon = mpas_reconstruct(self.mesh, acc.u)
+        with kernel_span("mpas_reconstruct", backend=backend):
+            recon = self._mpas_reconstruct(self.mesh, acc.u, backend=backend)
         assert new_diag is not None
         return StepResult(state=acc, diagnostics=new_diag, reconstruction=recon)

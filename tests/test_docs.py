@@ -14,7 +14,7 @@ import pytest
 DOCS = Path(__file__).resolve().parent.parent / "docs"
 OPTIONFLAGS = doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
 
-DOCTESTED = ["observability.md", "architecture.md"]
+DOCTESTED = ["observability.md", "architecture.md", "backends.md"]
 
 
 @pytest.mark.parametrize("name", DOCTESTED)

@@ -28,6 +28,12 @@ def test_quickstart():
     assert "mass drift" in out
 
 
+def test_quickstart_codegen_backend():
+    out = _run("quickstart.py", "2", "codegen")
+    assert "backend = codegen" in out
+    assert "Error vs the exact steady solution" in out
+
+
 def test_mountain_wave():
     out = _run("mountain_wave.py", "1", "2")
     assert "Total height h + b" in out
