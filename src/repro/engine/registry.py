@@ -38,6 +38,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..obs.metrics import get_registry as _get_metrics
+from ..resilience.faults import FaultInjected, fault_site
+from ..resilience.recovery import active_recovery_policy
 from .split import active_placement
 
 __all__ = [
@@ -192,6 +194,12 @@ class KernelRegistry:
         :func:`repro.engine.split.use_placements`), and records an
         ``engine.op`` timer tagged ``(op, pattern, backend)`` plus an
         ``engine.fallback`` counter when the backend had to fall back.
+
+        Every dispatch is the ``engine.dispatch`` fault site: a faulted call
+        is retried on the same backend (``RecoveryPolicy.backend_retries``
+        times — a successful retry is bitwise-invisible), then re-resolved
+        to the ``numpy`` implementation (``backend_fallback``); both escapes
+        are counted under ``resilience.recovery.*``.
         """
         entry = self.op(op)
         fn, resolved = entry.resolve(backend)
@@ -207,7 +215,40 @@ class KernelRegistry:
                 from .split import run_split
 
                 return run_split(entry, fn, resolved, mesh, fields, placement)
-            return fn(mesh, *fields)
+            try:
+                fault_site("engine.dispatch", op=op, backend=resolved)
+                return fn(mesh, *fields)
+            except FaultInjected as exc:
+                return self._recover_dispatch(entry, fn, resolved, mesh, fields, exc)
+
+    def _recover_dispatch(self, entry, fn, backend, mesh, fields, exc):
+        """Bounded same-backend retries, then the counted ``numpy`` fallback.
+
+        Only :class:`~repro.resilience.faults.FaultInjected` lands here — a
+        real kernel bug (``ValueError``, ``FloatingPointError``) propagates
+        on the first attempt instead of being retried into oblivion.  The
+        fallback itself runs outside the fault site: it is the escape hatch
+        and must not be re-faulted.
+        """
+        policy = active_recovery_policy()
+        metrics = _get_metrics()
+        for _ in range(policy.backend_retries):
+            metrics.counter(
+                "resilience.recovery.retry", site="engine.dispatch", op=entry.op
+            ).inc()
+            try:
+                fault_site("engine.dispatch", op=entry.op, backend=backend)
+                return fn(mesh, *fields)
+            except FaultInjected as retry_exc:
+                exc = retry_exc
+        if policy.backend_fallback:
+            fallback = entry.impls.get(DEFAULT_BACKEND)
+            if fallback is not None:
+                metrics.counter(
+                    "resilience.recovery.fallback", op=entry.op, backend=backend
+                ).inc()
+                return fallback(mesh, *fields)
+        raise exc
 
 
 # --------------------------------------------------------- default registry

@@ -37,6 +37,9 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+from ..resilience.faults import FaultInjected, fault_site
+from ..resilience.recovery import active_recovery_policy
 
 __all__ = ["use_placements", "active_placement", "active_placements", "run_split"]
 
@@ -45,8 +48,12 @@ _ACTIVE: dict[str, object] = {}
 
 
 def active_placements() -> dict[str, object]:
-    """The currently installed label -> placement mapping (read-only use)."""
-    return _ACTIVE
+    """A snapshot of the installed label -> placement mapping.
+
+    Returns a copy: mutating it must not edit the live routing table (that
+    is :func:`use_placements`'s job — and degraded-mode demotion's).
+    """
+    return dict(_ACTIVE)
 
 
 def active_placement(label: str | None):
@@ -85,6 +92,52 @@ def use_placements(placements: Mapping[str, object]) -> Iterator[dict[str, objec
         _ACTIVE.update(old)
 
 
+def _run_share(entry, fn, backend: str, mesh, fields, table, rows, owned, n_in, device):
+    """One device's share of a split execution: reconcile the band, run, slice."""
+    sub = table[rows]
+    needed = np.unique(sub[sub >= 0])
+    owned_mask = np.zeros(n_in, dtype=bool)
+    owned_mask[owned] = True
+    band = needed[~owned_mask[needed]]
+    get_registry().counter(
+        "engine.split.band_points", op=entry.op, device=device, backend=backend
+    ).inc(band.size)
+    # Each device's local copy: its own contiguous share plus the
+    # reconciled boundary band; everything else stays zero (absent).
+    local_fields = []
+    for field_arr in fields:
+        local = np.zeros_like(field_arr)
+        local[owned] = field_arr[owned]
+        local[band] = field_arr[band]
+        local_fields.append(local)
+    full = np.asarray(fn(mesh, *local_fields))
+    return full[rows]
+
+
+def _demote(placement, survivor: str) -> None:
+    """Degraded mode: route the failed placement's labels to the survivor.
+
+    Mutates the live ``_ACTIVE`` table in place, so every *subsequent*
+    dispatch under the same :func:`use_placements` block runs single-device;
+    leaving the block restores whatever was installed before it.  Surfaced
+    as a ``resilience.split.degraded`` counter and a zero-width tracer event.
+    """
+    from ..hybrid.executor import Placement  # deferred: engine stays light
+
+    demoted = Placement(device=survivor)
+    labels = [label for label, p in _ACTIVE.items() if p is placement]
+    for label in labels:
+        _ACTIVE[label] = demoted
+    get_registry().counter("resilience.split.degraded", device=survivor).inc()
+    tracer = get_tracer()
+    if tracer.enabled:
+        now = tracer.now()
+        tracer.add_span(
+            "split.degraded", now, now, category="resilience",
+            device=survivor, labels=",".join(labels),
+        )
+
+
 def run_split(entry, fn, backend: str, mesh, fields, placement):
     """Execute one operator split across two logical devices.
 
@@ -92,6 +145,14 @@ def run_split(entry, fn, backend: str, mesh, fields, placement):
     resolved backend implementation; ``fields`` the positional input arrays
     (all of ``entry.input_point`` type).  Returns the stitched output,
     bitwise identical to ``fn(mesh, *fields)``.
+
+    Each device's share is one ``engine.split.device`` fault site — the
+    "accelerator died mid-pattern" scenario.  When a device's share faults
+    and the recovery policy allows ``split_degrade``, the survivor
+    re-executes the failed rows (same data, same gather order: bitwise
+    identical) and the placement is demoted to single-device for subsequent
+    dispatches.  With degradation disabled, or both devices faulted, the
+    injected fault propagates.
     """
     if entry.stencil is None or entry.no_split:
         raise ValueError(
@@ -103,33 +164,43 @@ def run_split(entry, fn, backend: str, mesh, fields, placement):
     f = float(placement.cpu_fraction)
     n_out = entry.output_point.count(mesh)
     n_in = entry.input_point.count(mesh)
+    if n_out < 2 or n_in < 2:
+        # Degenerate domain: there is no cut that gives both devices work
+        # (the clamped-cut formula would invert to an empty cpu share).
+        return np.asarray(fn(mesh, *fields))
     cut_out = min(max(int(f * n_out), 1), n_out - 1)
     cut_in = min(max(int(f * n_in), 1), n_in - 1)
 
     table = np.asarray(entry.stencil(mesh))
     metrics = get_registry()
-    parts = []
-    for device, rows, owned in (
+    shares = (
         ("cpu", slice(0, cut_out), slice(0, cut_in)),
         ("mic", slice(cut_out, n_out), slice(cut_in, n_in)),
-    ):
-        sub = table[rows]
-        needed = np.unique(sub[sub >= 0])
-        owned_mask = np.zeros(n_in, dtype=bool)
-        owned_mask[owned] = True
-        band = needed[~owned_mask[needed]]
+    )
+    parts: list = []
+    failed: list[tuple[int, tuple, FaultInjected]] = []
+    for i, (device, rows, owned) in enumerate(shares):
+        try:
+            fault_site("engine.split.device", op=entry.op, device=device)
+            parts.append(
+                _run_share(entry, fn, backend, mesh, fields, table, rows, owned, n_in, device)
+            )
+        except FaultInjected as exc:
+            parts.append(None)
+            failed.append((i, (device, rows, owned), exc))
+    if failed:
+        if len(failed) == len(shares) or not active_recovery_policy().split_degrade:
+            raise failed[0][2]
+        (i, (device, rows, owned), _), = failed
+        survivor = shares[1 - i][0]
         metrics.counter(
-            "engine.split.band_points", op=entry.op, device=device, backend=backend
-        ).inc(band.size)
-        # Each device's local copy: its own contiguous share plus the
-        # reconciled boundary band; everything else stays zero (absent).
-        local_fields = []
-        for field_arr in fields:
-            local = np.zeros_like(field_arr)
-            local[owned] = field_arr[owned]
-            local[band] = field_arr[band]
-            local_fields.append(local)
-        full = np.asarray(fn(mesh, *local_fields))
-        parts.append(full[rows])
+            "resilience.split.redo", op=entry.op, device=survivor
+        ).inc(rows.stop - rows.start)
+        # The survivor re-executes the failed rows from the same local view
+        # the dead device would have built — bitwise-identical recovery.
+        parts[i] = _run_share(
+            entry, fn, backend, mesh, fields, table, rows, owned, n_in, survivor
+        )
+        _demote(placement, survivor)
     metrics.gauge("engine.split.cpu_fraction", op=entry.op).set(f)
     return np.concatenate(parts, axis=0)

@@ -36,6 +36,8 @@ from ..machine.interconnect import TransferModel
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.trace import Tracer, get_tracer
 from ..patterns.classify import point_of
+from ..resilience.faults import FaultInjected, fault_site
+from ..resilience.recovery import active_recovery_policy
 
 __all__ = ["Placement", "Assignment", "Task", "Timeline", "HybridExecutor", "DEVICES"]
 
@@ -263,13 +265,42 @@ class HybridExecutor:
             return r
 
         def xfer(var_label: str, n_bytes: float, dst: str, earliest: float) -> float:
-            """Schedule a PCIe transfer toward ``dst``; return arrival time."""
+            """Schedule a PCIe transfer toward ``dst``; return arrival time.
+
+            Each transfer is one ``hybrid.transfer`` fault site (a flaky
+            PCIe exchange).  A faulted transfer is rescheduled up to
+            ``RecoveryPolicy.transfer_retries`` times; the failed attempt
+            occupies its channel for the full duration — like a wire-level
+            retry would — and its traffic is accounted separately as
+            ``resilience.transfer.wasted_bytes``.
+            """
             if n_bytes <= 0.0:
                 return earliest
             channel = "pcie_up" if dst == "mic" else "pcie_down"
-            registry.counter("hybrid.pcie.bytes", channel=channel).inc(n_bytes)
             dur = self.transfer.time(n_bytes)
             start = max(avail[channel], earliest)
+            attempt = 0
+            while True:
+                try:
+                    fault_site("hybrid.transfer", dst=dst)
+                    break
+                except FaultInjected:
+                    if attempt >= active_recovery_policy().transfer_retries:
+                        raise
+                    end = start + dur
+                    avail[channel] = end
+                    timeline.tasks.append(
+                        Task(f"xfer!{var_label}->{dst}", channel, start, end, "transfer")
+                    )
+                    registry.counter(
+                        "resilience.recovery.retry", site="hybrid.transfer"
+                    ).inc()
+                    registry.counter(
+                        "resilience.transfer.wasted_bytes", channel=channel
+                    ).inc(n_bytes)
+                    start = end
+                    attempt += 1
+            registry.counter("hybrid.pcie.bytes", channel=channel).inc(n_bytes)
             end = start + dur
             avail[channel] = end
             timeline.tasks.append(

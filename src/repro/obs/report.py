@@ -40,6 +40,8 @@ __all__ = [
     "render_backend_cost_report",
     "kernel_profile_rows",
     "render_kernel_profile",
+    "resilience_rows",
+    "render_resilience_report",
     "run_traced",
     "main",
 ]
@@ -244,6 +246,33 @@ def render_backend_cost_report(rows: list[BackendCost], title: str) -> str:
     return render_table(
         title, ["pattern", "op", "backend", "calls", "total", "mean"], table_rows
     )
+
+
+# --------------------------------------------------------- fault and recovery
+def resilience_rows(registry: MetricsRegistry) -> list[list[str]]:
+    """Every fault/recovery series: injected faults, retries, fallbacks,
+    degradations, backoff, checkpoints and watchdog violations.
+
+    Covers the ``resilience.*`` namespace written by the fault plans
+    (:mod:`repro.resilience.faults`) and the per-layer recovery mechanisms,
+    so one cost report shows both what was thrown at a run and how it
+    survived.
+    """
+    rows = []
+    for s in registry.series():
+        if not s.name.startswith("resilience."):
+            continue
+        tags = ", ".join(f"{k}={v}" for k, v in sorted(s.tags.items())) or "-"
+        rows.append([s.name, tags, f"{s.value:g}"])
+    return rows
+
+
+def render_resilience_report(registry: MetricsRegistry, title: str) -> str:
+    """The fault/recovery counter table (empty-safe)."""
+    from ..bench.tables import render_table
+
+    rows = resilience_rows(registry) or [["(no faults injected)", "-", "0"]]
+    return render_table(title, ["series", "tags", "value"], rows)
 
 
 # ------------------------------------------------------------- kernel profile
@@ -488,6 +517,9 @@ def main(argv: list[str] | None = None) -> int:
         backend_cost_rows(registry),
         f"Per-backend per-pattern dispatch cost (backend={args.backend})",
     ))
+    if resilience_rows(registry):
+        print()
+        print(render_resilience_report(registry, "Fault and recovery counters"))
     if args.kernels:
         print()
         print(render_kernel_profile(

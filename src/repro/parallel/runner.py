@@ -25,6 +25,8 @@ import numpy as np
 from ..mesh.mesh import Mesh
 from ..obs.metrics import get_registry
 from ..obs.trace import trace_span
+from ..resilience.faults import FaultInjected, fault_site
+from ..resilience.recovery import active_recovery_policy
 from ..swm.config import SWConfig
 from ..swm.diagnostics import compute_solve_diagnostics
 from ..swm.state import Diagnostics, State
@@ -105,7 +107,35 @@ class DecomposedShallowWater:
 
     # ------------------------------------------------------------- exchange
     def _exchange(self, states: list[State]) -> None:
-        """Refresh halo values of ``h``/``u`` from their owning ranks."""
+        """Refresh halo values of ``h``/``u`` from their owning ranks.
+
+        Each exchange is one ``halo.exchange`` fault site (a dropped MPI
+        message).  A faulted exchange is re-attempted up to
+        ``RecoveryPolicy.halo_retries`` times with exponential backoff; the
+        simulated backoff seconds are accounted into the
+        ``resilience.halo.backoff_s`` counter so the scaling step model can
+        price recovery, not just success.  Retries exhausted, the injected
+        fault propagates — a halo the ranks never agree on is not
+        recoverable by degradation.
+        """
+        attempt = 0
+        while True:
+            try:
+                fault_site("halo.exchange", ranks=self.n_ranks)
+                break
+            except FaultInjected:
+                policy = active_recovery_policy()
+                if attempt >= policy.halo_retries:
+                    raise
+                registry = get_registry()
+                registry.counter(
+                    "resilience.recovery.retry", site="halo.exchange",
+                    ranks=self.n_ranks,
+                ).inc()
+                registry.counter(
+                    "resilience.halo.backoff_s", ranks=self.n_ranks
+                ).inc(policy.halo_backoff_s * 2.0**attempt)
+                attempt += 1
         with trace_span(
             "halo_exchange", category="halo",
             ranks=self.n_ranks, bytes_est=self._bytes_per_exchange,

@@ -1,0 +1,48 @@
+"""Fault-tolerant runtime: injection, recovery, watchdogs, auto-checkpoints.
+
+The paper's pattern-level granularity lets work move freely between host and
+device; this package makes that design *survivable*.  Four pieces:
+
+* :mod:`~repro.resilience.faults` — named fault sites in every execution
+  layer, driven by seeded :class:`~repro.resilience.faults.FaultPlan`\\ s
+  (deterministic or probabilistic), so failures are testable on demand.
+* :mod:`~repro.resilience.recovery` — the bounded-retry policy each layer
+  consults when a site fires: backend re-dispatch + numpy fallback, split
+  degraded mode, halo retry with backoff, transfer rescheduling.
+* :mod:`~repro.resilience.guards` — numerical watchdogs (NaN/Inf scans,
+  invariant-drift limits, a CFL monitor) inside the stepping loop.
+* :mod:`~repro.resilience.checkpoint` — interval-based restart files with
+  in-run rollback, the recovery arm of the watchdog.
+
+This ``__init__`` re-exports only the import-light fault/recovery machinery
+(the engine registry imports it on every process start); import
+``repro.resilience.guards`` / ``repro.resilience.checkpoint`` directly for
+the watchdog pieces, which pull in the shallow-water core.
+
+Run ``python -m repro.resilience --selftest`` for the end-to-end proof:
+a faulted Galewsky run recovering to a bitwise-identical final state.
+"""
+
+from .faults import (
+    KNOWN_SITES,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    active_fault_plan,
+    fault_site,
+    use_fault_plan,
+)
+from .recovery import RecoveryPolicy, active_recovery_policy, use_recovery_policy
+
+__all__ = [
+    "KNOWN_SITES",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "active_fault_plan",
+    "fault_site",
+    "use_fault_plan",
+    "RecoveryPolicy",
+    "active_recovery_policy",
+    "use_recovery_policy",
+]

@@ -1,0 +1,108 @@
+"""Interval-based auto-checkpointing with in-run rollback.
+
+:class:`AutoCheckpointer` layers on the model's existing restart files
+(:meth:`repro.swm.model.ShallowWaterModel.save_checkpoint` /
+:meth:`~repro.swm.model.ShallowWaterModel.from_checkpoint`): every
+``interval`` steps it writes a full restart file, keeps the newest ``keep``
+of them, and can *roll the running model back* to the newest one — the
+recovery arm of the numerical watchdog (:mod:`repro.resilience.guards`).
+
+Rollback restores only the prognostic fields (``h``, ``u``) and recomputes
+the diagnostics from them; that is exactly the restart contract the test
+suite already proves bitwise (end-of-step diagnostics are a pure function of
+the state), so a rolled-back trajectory is indistinguishable from one that
+never left the checkpointed state.  Saves and rollbacks are counted as
+``resilience.checkpoint.saved`` / ``resilience.checkpoint.rollback``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from ..obs.metrics import get_registry
+
+__all__ = ["AutoCheckpointer"]
+
+
+class AutoCheckpointer:
+    """Periodic restart files for a running model, newest-first rollback.
+
+    Parameters
+    ----------
+    model : ShallowWaterModel
+        The model being integrated; ``model.state`` must be current when
+        :meth:`save` is called (the run loop updates it every step).
+    interval : int
+        Steps between automatic saves (:meth:`maybe_save`); must be >= 1.
+    directory : path-like, optional
+        Where restart files go.  Default: a temporary directory owned by
+        this checkpointer (deleted with it).
+    keep : int
+        How many newest checkpoints to retain on disk.
+    """
+
+    def __init__(self, model, interval: int, directory=None, keep: int = 2) -> None:
+        if interval < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.model = model
+        self.interval = interval
+        self.keep = keep
+        self._tmp = None
+        if directory is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+            directory = self._tmp.name
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._saved: list[tuple[int, Path]] = []
+
+    # ------------------------------------------------------------------ save
+    @property
+    def last_step(self) -> int | None:
+        """Step number of the newest retained checkpoint (``None`` if none)."""
+        return self._saved[-1][0] if self._saved else None
+
+    def maybe_save(self, step: int) -> bool:
+        """Save iff ``step`` is a multiple of the interval."""
+        if step % self.interval == 0:
+            self.save(step)
+            return True
+        return False
+
+    def save(self, step: int) -> Path:
+        """Write one restart file for the model's current state."""
+        path = self.directory / f"auto-{step:08d}.npz"
+        self.model.save_checkpoint(path)
+        self._saved.append((step, path))
+        while len(self._saved) > self.keep:
+            _, old = self._saved.pop(0)
+            old.unlink(missing_ok=True)
+        get_registry().counter("resilience.checkpoint.saved").inc()
+        return path
+
+    # -------------------------------------------------------------- rollback
+    def rollback(self) -> int:
+        """Restore the model to the newest checkpoint; return its step.
+
+        Only ``h``/``u`` are read back (the run's fixed fields never change);
+        diagnostics are recomputed, matching the restart contract.  The
+        model's *current* configuration is kept — so a caller that halves
+        ``dt`` before resuming integrates the restored state under the new
+        step size.
+        """
+        if not self._saved:
+            raise RuntimeError("no auto-checkpoint to roll back to")
+        from ..swm.state import State
+
+        step, path = self._saved[-1]
+        model = self.model
+        with np.load(path) as data:
+            state = State(h=data["h"].copy(), u=data["u"].copy())
+        model.state = state
+        model.diagnostics = model.integrator.diagnostics_for(state)
+        get_registry().counter("resilience.checkpoint.rollback").inc()
+        return step

@@ -46,6 +46,29 @@ class SWConfig:
         Execution backend for the stencil operators (``"numpy"``,
         ``"scatter"`` or ``"codegen"``); every kernel dispatches through the
         :mod:`repro.engine` registry under this name.
+    backend_retries, halo_retries, halo_backoff_s, transfer_retries
+        Bounded-retry knobs of the recovery policy installed for the
+        duration of a model run (see :class:`repro.resilience.recovery.
+        RecoveryPolicy` for each knob's meaning).
+    guard_interval : int
+        Run the numerical watchdog every this many steps (0 disables it);
+        1 gives the per-step NaN/Inf scan.
+    guard_policy : str
+        What a watchdog violation does: ``"halt"`` raises
+        :class:`~repro.resilience.guards.NumericalBlowup` with a diagnostic
+        naming the offending field and step; ``"rollback"`` restores the
+        last auto-checkpoint and halves ``dt`` (requires
+        ``checkpoint_interval > 0``).
+    guard_mass_drift, guard_energy_drift : float
+        Relative invariant-drift limits against the first guarded state
+        (0 disables each).
+    guard_cfl_max : float
+        Gravity-wave Courant-number ceiling on the running state
+        (0 disables; 1.0 is the textbook stability limit).
+    checkpoint_interval : int
+        Automatic restart-file cadence in steps (0 disables).
+    max_rollbacks : int
+        Watchdog rollbacks allowed per run before halting anyway.
     """
 
     dt: float
@@ -61,6 +84,17 @@ class SWConfig:
     hyperviscosity: float = 0.0
     advection_only: bool = False
     backend: str = "numpy"
+    backend_retries: int = 1
+    halo_retries: int = 2
+    halo_backoff_s: float = 0.0
+    transfer_retries: int = 2
+    guard_interval: int = 0
+    guard_policy: str = "halt"
+    guard_mass_drift: float = 0.0
+    guard_energy_drift: float = 0.0
+    guard_cfl_max: float = 0.0
+    checkpoint_interval: int = 0
+    max_rollbacks: int = 3
 
     def __post_init__(self) -> None:
         if self.dt <= 0.0:
@@ -71,10 +105,36 @@ class SWConfig:
             raise ValueError("viscosity must be non-negative")
         if self.hyperviscosity < 0.0:
             raise ValueError("hyperviscosity must be non-negative")
+        if self.guard_policy not in ("halt", "rollback"):
+            raise ValueError("guard_policy must be 'halt' or 'rollback'")
+        for name in (
+            "backend_retries", "halo_retries", "transfer_retries",
+            "guard_interval", "checkpoint_interval", "max_rollbacks",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        for name in (
+            "halo_backoff_s", "guard_mass_drift", "guard_energy_drift",
+            "guard_cfl_max",
+        ):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be >= 0")
         from ..engine import BACKENDS  # deferred: config must stay import-light
 
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+
+    def recovery_policy(self):
+        """The :class:`~repro.resilience.recovery.RecoveryPolicy` these knobs
+        describe (installed by :meth:`repro.swm.model.ShallowWaterModel.run`)."""
+        from ..resilience.recovery import RecoveryPolicy  # deferred: import-light
+
+        return RecoveryPolicy(
+            backend_retries=self.backend_retries,
+            halo_retries=self.halo_retries,
+            halo_backoff_s=self.halo_backoff_s,
+            transfer_retries=self.transfer_retries,
+        )
 
     def coriolis(self, lat: np.ndarray) -> np.ndarray:
         """Coriolis parameter at the given latitudes (radians)."""

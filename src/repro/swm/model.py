@@ -91,12 +91,28 @@ class ShallowWaterModel:
         days: float | None = None,
         invariant_interval: int = 0,
         callback=None,
+        checkpoint_dir=None,
     ) -> RunResult:
         """Phase 2: integrate for ``steps`` steps or ``days`` simulated days.
 
         ``invariant_interval > 0`` records the conserved integrals every that
         many steps (plus at start and end).  ``callback(step, result)`` runs
         after each step when given.
+
+        The run executes under the recovery policy built from the config's
+        retry knobs (:meth:`SWConfig.recovery_policy`).  With
+        ``config.guard_interval > 0`` the numerical watchdog
+        (:class:`repro.resilience.guards.Watchdog`) checks the new state
+        every that many steps; a violation either raises
+        :class:`~repro.resilience.guards.NumericalBlowup` (``guard_policy ==
+        "halt"``, or rollbacks exhausted/unavailable) or restores the newest
+        auto-checkpoint and halves ``dt`` (``"rollback"``).  With
+        ``config.checkpoint_interval > 0`` restart files are written every
+        that many steps (plus at step 0) into ``checkpoint_dir`` (default: a
+        run-scoped temporary directory).  A rollback re-runs the remaining
+        *step count* under the smaller ``dt``, so the simulated horizon
+        shrinks; ``RunResult.elapsed_seconds`` reports the time actually
+        covered by the surviving trajectory.
         """
         if (steps is None) == (days is None):
             raise ValueError("specify exactly one of steps/days")
@@ -105,25 +121,89 @@ class ShallowWaterModel:
         if self.state is None or self.integrator is None:
             raise RuntimeError("initialize() must be called before run()")
 
+        from ..resilience.checkpoint import AutoCheckpointer
+        from ..resilience.guards import NumericalBlowup, Watchdog
+        from ..resilience.recovery import use_recovery_policy
+
+        config = self.config
+        watchdog = (
+            Watchdog.from_config(self.mesh, self.b_cell, config)
+            if config.guard_interval
+            else None
+        )
+        checkpointer = (
+            AutoCheckpointer(self, config.checkpoint_interval, directory=checkpoint_dir)
+            if config.checkpoint_interval
+            else None
+        )
+
         state, diag = self.state, self.diagnostics
         history: list[Invariants] = []
+        history_steps: list[int] = []
 
-        def record() -> None:
+        def record(step: int) -> None:
             history.append(
-                invariants(self.mesh, state, diag, self.b_cell, self.config.gravity)
+                invariants(self.mesh, state, diag, self.b_cell, config.gravity)
             )
+            history_steps.append(step)
 
-        record()
+        record(0)
+        elapsed_at_ckpt: dict[int, float] = {}
+        if checkpointer is not None:
+            checkpointer.save(0)
+            elapsed_at_ckpt[0] = 0.0
         recon = None
-        for step in range(1, steps + 1):
-            result: StepResult = self.integrator.step(state, diag)
-            state, diag, recon = result.state, result.diagnostics, result.reconstruction
-            if invariant_interval and step % invariant_interval == 0:
-                record()
-            if callback is not None:
-                callback(step, result)
-        if not invariant_interval or steps % invariant_interval != 0:
-            record()
+        elapsed = 0.0
+        rollbacks = 0
+        step = 1
+        with use_recovery_policy(config.recovery_policy()):
+            while step <= steps:
+                report = None
+                result: StepResult | None = None
+                try:
+                    result = self.integrator.step(state, diag)
+                except FloatingPointError as exc:
+                    # A violently unstable step fails *inside* the RK stages
+                    # before any end-of-step guard can see it.
+                    if watchdog is None:
+                        raise
+                    report = watchdog.in_step_failure(step, exc)
+                else:
+                    state, diag, recon = (
+                        result.state, result.diagnostics, result.reconstruction,
+                    )
+                    self.state, self.diagnostics = state, diag
+                    elapsed += config.dt
+                    if watchdog is not None and step % config.guard_interval == 0:
+                        report = watchdog.check(step, state, diag, config.dt)
+                if report is not None:
+                    if (
+                        config.guard_policy != "rollback"
+                        or checkpointer is None
+                        or rollbacks >= config.max_rollbacks
+                    ):
+                        raise NumericalBlowup(report)
+                    rolled_to = checkpointer.rollback()
+                    config.dt /= 2.0
+                    rollbacks += 1
+                    # Abandon the poisoned trajectory: state, invariant
+                    # records and the clock all rewind to the checkpoint.
+                    state, diag = self.state, self.diagnostics
+                    while history_steps and history_steps[-1] > rolled_to:
+                        history_steps.pop()
+                        history.pop()
+                    elapsed = elapsed_at_ckpt[rolled_to]
+                    step = rolled_to + 1
+                    continue
+                if invariant_interval and step % invariant_interval == 0:
+                    record(step)
+                if checkpointer is not None and checkpointer.maybe_save(step):
+                    elapsed_at_ckpt[step] = elapsed
+                if callback is not None:
+                    callback(step, result)
+                step += 1
+        if history_steps[-1] != steps:
+            record(steps)
 
         self.state, self.diagnostics = state, diag
         return RunResult(
@@ -131,7 +211,7 @@ class ShallowWaterModel:
             diagnostics=diag,
             reconstruction=recon,
             steps=steps,
-            elapsed_seconds=steps * self.config.dt,
+            elapsed_seconds=elapsed,
             invariant_history=history,
         )
 

@@ -1,0 +1,58 @@
+"""Repository hygiene: no build artifacts may ever be tracked again.
+
+PR 2 accidentally committed 47 ``__pycache__/*.pyc`` files; this module is
+the regression guard.  It asks git itself (``git ls-files``), so it catches
+tracked artifacts regardless of what happens to be on disk.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Path fragments that must never appear in the tracked file list.
+FORBIDDEN = ("__pycache__", ".pyc", ".pytest_cache", ".hypothesis", ".benchmarks")
+
+#: Patterns the .gitignore must carry so the artifacts cannot return.
+REQUIRED_IGNORES = (
+    "__pycache__/",
+    "*.pyc",
+    ".pytest_cache/",
+    ".hypothesis/",
+    ".benchmarks/",
+)
+
+
+def _tracked_files() -> list[str]:
+    if shutil.which("git") is None or not (REPO / ".git").exists():
+        pytest.skip("not a git checkout")
+    result = subprocess.run(
+        ["git", "ls-files"], cwd=REPO, capture_output=True, text=True, timeout=60
+    )
+    if result.returncode != 0:
+        pytest.skip(f"git ls-files failed: {result.stderr.strip()}")
+    return result.stdout.splitlines()
+
+
+def test_no_tracked_build_artifacts():
+    offenders = [
+        path
+        for path in _tracked_files()
+        for fragment in FORBIDDEN
+        if fragment in path
+    ]
+    assert not offenders, (
+        f"{len(offenders)} build artifacts are tracked by git "
+        f"(e.g. {offenders[:3]}); `git rm --cached` them"
+    )
+
+
+def test_gitignore_covers_artifacts():
+    gitignore = (REPO / ".gitignore").read_text().splitlines()
+    missing = [pat for pat in REQUIRED_IGNORES if pat not in gitignore]
+    assert not missing, f".gitignore lacks {missing}"
