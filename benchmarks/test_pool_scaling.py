@@ -1,0 +1,132 @@
+"""Real strong scaling of the shared-memory process pool.
+
+Unlike Figures 8/9 (which exercise the *analytic* scaling models), this
+benchmark measures actual wall-clock: the same Galewsky integration run
+serially and through :class:`repro.parallel.pool.PoolShallowWater` at 1, 2
+and 4 ranks, on the real machine this suite runs on.  Results (steps/s,
+speedup, parallel efficiency, core count) are written to
+``benchmarks/results/pool_scaling.json`` and a rendered table.
+
+The speedup assertion is honest about hardware: a pool cannot beat serial
+wall-clock without cores to run on.  With >= 4 usable cores the 4-rank
+speedup must exceed 1.5x; with fewer cores the numbers are recorded and the
+assertion is skipped (the bitwise-equality contract is tested regardless —
+concurrency must never change the answer).
+
+Scale knobs: ``REPRO_BENCH_LEVEL`` (mesh level, default 3),
+``REPRO_BENCH_POOL_STEPS`` (steps per timed run, default 10).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, bench_level
+
+RANKS = (1, 2, 4)
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_serial(mesh, case, cfg, steps):
+    from repro.swm import ShallowWaterModel
+
+    model = ShallowWaterModel(mesh, cfg)
+    model.initialize(case)
+    t0 = time.perf_counter()
+    result = model.run(steps=steps)
+    return time.perf_counter() - t0, result
+
+
+def _timed_pool(mesh, case, cfg, steps, n_ranks):
+    from repro.parallel import PoolShallowWater
+
+    with PoolShallowWater(mesh, n_ranks, case, cfg) as pool:
+        t0 = time.perf_counter()
+        result = pool.run(steps)
+        wall = time.perf_counter() - t0
+    return wall, result
+
+
+def test_pool_scaling(report):
+    from repro.api import SWConfig, build_mesh, resolve_case, suggested_dt
+    from repro.constants import GRAVITY
+
+    level = bench_level()
+    steps = int(os.environ.get("REPRO_BENCH_POOL_STEPS", "10"))
+    cores = _usable_cores()
+
+    mesh = build_mesh(level)
+    case = resolve_case("galewsky")
+    dt = suggested_dt(mesh, case, GRAVITY, cfl=0.5)
+    cfg = SWConfig(dt=dt)
+
+    serial_wall, serial_res = _timed_serial(mesh, case, cfg, steps)
+
+    points = []
+    for n_ranks in RANKS:
+        wall, res = _timed_pool(mesh, case, cfg, steps, n_ranks)
+        # Concurrency must never change the answer.
+        assert np.array_equal(res.state.h, serial_res.state.h)
+        assert np.array_equal(res.state.u, serial_res.state.u)
+        points.append(
+            {
+                "ranks": n_ranks,
+                "wall_s": wall,
+                "steps_per_s": steps / wall,
+                "speedup": serial_wall / wall,
+                "efficiency": serial_wall / wall / n_ranks,
+            }
+        )
+
+    payload = {
+        "mesh_level": level,
+        "n_cells": int(mesh.nCells),
+        "steps": steps,
+        "usable_cores": cores,
+        "serial_wall_s": serial_wall,
+        "pool": points,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "pool_scaling.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    lines = [
+        f"Pool strong scaling - Galewsky, level {level} "
+        f"({mesh.nCells:,} cells), {steps} steps, {cores} usable core(s)",
+        f"  serial        : {serial_wall:8.3f} s",
+    ]
+    for p in points:
+        lines.append(
+            f"  pool ranks={p['ranks']}  : {p['wall_s']:8.3f} s   "
+            f"speedup {p['speedup']:.2f}x   efficiency {p['efficiency'] * 100:.0f}%"
+        )
+    report("pool_scaling", "\n".join(lines))
+
+    by_ranks = {p["ranks"]: p for p in points}
+    if cores >= 4:
+        assert by_ranks[4]["speedup"] > 1.5, (
+            f"4-rank pool speedup {by_ranks[4]['speedup']:.2f}x <= 1.5x "
+            f"on {cores} cores"
+        )
+    elif cores >= 2:
+        assert by_ranks[2]["speedup"] > 1.1, (
+            f"2-rank pool speedup {by_ranks[2]['speedup']:.2f}x <= 1.1x "
+            f"on {cores} cores"
+        )
+    else:
+        pytest.skip(
+            f"only {cores} usable core(s): speedup recorded "
+            f"({by_ranks[4]['speedup']:.2f}x at 4 ranks) but not asserted"
+        )

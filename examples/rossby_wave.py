@@ -19,15 +19,9 @@ import sys
 
 import numpy as np
 
+from repro.api import SWConfig, build_mesh, resolve_case, run, suggested_dt
 from repro.constants import GRAVITY, OMEGA, SECONDS_PER_DAY
-from repro.mesh import cached_mesh
-from repro.swm import (
-    HistoryWriter,
-    ShallowWaterModel,
-    SWConfig,
-    rossby_haurwitz,
-    suggested_dt,
-)
+from repro.swm import HistoryWriter
 
 WAVENUMBER = 4.0
 WAVE_OMEGA = 7.848e-6  # the TC6 angular parameters
@@ -52,15 +46,17 @@ def measure_phase(hist, lon, band) -> np.ndarray:
 
 
 def main(days: float = 6.0, level: int = 3) -> None:
-    mesh = cached_mesh(level)
-    case = rossby_haurwitz()
+    mesh = build_mesh(level)
+    case = resolve_case("rossby_haurwitz")
     dt = suggested_dt(mesh, case, GRAVITY, cfl=0.5)
-    model = ShallowWaterModel(mesh, SWConfig(dt=dt))
-    model.initialize(case)
+    config = SWConfig(dt=dt)
 
-    writer = HistoryWriter(mesh, model.config, fields=("h",), interval=10)
+    writer = HistoryWriter(mesh, config, fields=("h",), interval=10)
     print(f"TC6 on {mesh.nCells} cells, dt = {dt:.0f} s, {days:g} days ...")
-    result = model.run(days=days, callback=writer, invariant_interval=50)
+    result = run(
+        case, mesh=mesh, config=config, days=days,
+        callback=writer, invariant_interval=50,
+    )
     hist = writer.history()
 
     band = np.abs(mesh.metrics.latCell) < 0.35

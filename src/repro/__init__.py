@@ -22,8 +22,36 @@ Subpackages
     Kernel-level and pattern-level hybrid schedulers + discrete-event
     execution timelines (Figs. 2, 4, 6, 7).
 ``repro.parallel``
-    Mesh partitioning, halos, functional multi-rank execution and the
-    strong/weak scaling models (Figs. 8, 9).
+    Mesh partitioning, halos, functional multi-rank execution (lockstep
+    and shared-memory process pool) and the strong/weak scaling models
+    (Figs. 8, 9).
+
+The supported front door is :mod:`repro.api` — ``build_mesh``,
+``resolve_case`` and ``run`` are re-exported here for convenience::
+
+    import repro
+    result = repro.run("galewsky", level=3, steps=10)
 """
+
+from .api import (
+    RunResult,
+    SWConfig,
+    TestCase,
+    build_mesh,
+    resolve_case,
+    run,
+    suggested_dt,
+)
+
+__all__ = [
+    "RunResult",
+    "SWConfig",
+    "TestCase",
+    "build_mesh",
+    "resolve_case",
+    "run",
+    "suggested_dt",
+    "__version__",
+]
 
 __version__ = "1.0.0"

@@ -2,11 +2,19 @@
 
 Commands
 --------
+``run``       integrate a test case (any executor), print errors/conservation
 ``mesh``      build (and cache) an SCVT mesh, print its quality report
-``run``       integrate a Williamson test case, print errors/conservation
+``selftest``  run the engine / resilience / observability selftests
+``report``    per-pattern cost report (forwards to ``repro.obs.report``)
 ``schedule``  show the hybrid schedules and speedups for a mesh size
 ``ladder``    print the Figure 6 optimization ladder
 ``scaling``   print the Figure 8/9 scaling tables
+
+``run`` goes through :func:`repro.api.run`: ``--case`` takes a name
+(``galewsky``, ``tc5``) or a Williamson number, ``--parallel``/``--ranks``
+select the executor (serial, lockstep, or the shared-memory process pool).
+The per-subsystem CLIs (``python -m repro.engine --selftest``, ...) keep
+working; ``selftest`` and ``report`` are the aggregated front door.
 """
 
 from __future__ import annotations
@@ -24,33 +32,70 @@ def _cmd_mesh(args: argparse.Namespace) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> None:
+    from repro.api import SWConfig, build_mesh, error_norms, resolve_case, run, suggested_dt
     from repro.constants import GRAVITY
-    from repro.mesh import cached_mesh
-    from repro.swm import TEST_CASES, ShallowWaterModel, SWConfig, suggested_dt
 
-    if args.case not in TEST_CASES:
-        raise SystemExit(f"unknown test case {args.case}; choose from {sorted(TEST_CASES)}")
-    mesh = cached_mesh(args.level)
-    case = TEST_CASES[args.case]()
+    raw = args.case
+    try:
+        case = resolve_case(int(raw) if str(raw).isdigit() else raw)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    mesh = build_mesh(args.level)
     dt = suggested_dt(mesh, case, GRAVITY, cfl=args.cfl)
     config = SWConfig(
         dt=dt,
         thickness_adv_order=args.order,
-        advection_only=(args.case == 1),
+        advection_only=(case.number == 1),
+        backend=args.backend,
+        parallel=args.parallel,
+        ranks=args.ranks,
     )
-    model = ShallowWaterModel(mesh, config)
-    model.initialize(case)
-    days = args.days if args.days is not None else case.suggested_days
-    result = model.run(days=days, invariant_interval=50)
+    if args.steps is None and args.days is None:
+        args.days = case.suggested_days
+    result = run(case, mesh=mesh, config=config, steps=args.steps, days=args.days)
     print(
         f"TC{case.number} ({case.name}): {result.steps} steps of {dt:.0f} s "
-        f"on {mesh.nCells} cells"
+        f"on {mesh.nCells} cells "
+        f"[{config.parallel}, ranks={config.ranks}, backend={config.backend}]"
     )
+    print(f"  simulated time = {result.elapsed_seconds:.0f} s")
     print(f"  mass drift   = {result.mass_drift():.2e}")
     print(f"  energy drift = {result.energy_drift():.2e}")
     if case.exact_thickness is not None:
-        err = model.exact_error()
+        err = error_norms(mesh, result.state.h, case.exact_thickness(mesh.metrics.xCell))
         print(f"  l1/l2/linf vs exact = {err.l1:.3e} / {err.l2:.3e} / {err.linf:.3e}")
+
+
+def _cmd_selftest(args: argparse.Namespace) -> None:
+    from repro.engine.__main__ import main as engine_main
+    from repro.obs.report import main as report_main
+    from repro.resilience.__main__ import main as resilience_main
+
+    level = ["--level", str(args.level)]
+    failures = 0
+    for name, entry in (
+        ("engine", engine_main),
+        ("resilience", resilience_main),
+        ("observability", report_main),
+    ):
+        if args.only is not None and args.only != name:
+            continue
+        print(f"=== {name} selftest ===")
+        rc = entry(["--selftest", *level])
+        if rc:
+            failures += 1
+        print()
+    if failures:
+        raise SystemExit(f"{failures} selftest(s) failed")
+    print("all selftests passed")
+
+
+def _cmd_report(argv: list[str]) -> None:
+    from repro.obs.report import main as report_main
+
+    rc = report_main(argv)
+    if rc:
+        raise SystemExit(rc)
 
 
 def _cmd_schedule(args: argparse.Namespace) -> None:
@@ -102,13 +147,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lloyd", type=int, default=4)
     p.set_defaults(func=_cmd_mesh)
 
-    p = sub.add_parser("run", help="integrate a Williamson test case")
-    p.add_argument("--case", type=int, default=2)
+    p = sub.add_parser("run", help="integrate a test case (any executor)")
+    p.add_argument(
+        "--case", default="2",
+        help="case name (galewsky, tc5, ...) or Williamson number",
+    )
     p.add_argument("--level", type=int, default=3)
+    p.add_argument("--steps", type=int, default=None)
     p.add_argument("--days", type=float, default=None)
     p.add_argument("--cfl", type=float, default=0.6)
     p.add_argument("--order", type=int, default=2, choices=(2, 3, 4))
+    p.add_argument("--backend", default="numpy")
+    p.add_argument(
+        "--parallel", default="serial", choices=("serial", "lockstep", "pool")
+    )
+    p.add_argument("--ranks", type=int, default=1)
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("selftest", help="engine/resilience/obs selftests")
+    p.add_argument("--level", type=int, default=3)
+    p.add_argument(
+        "--only", choices=("engine", "resilience", "observability"), default=None
+    )
+    p.set_defaults(func=_cmd_selftest)
+
+    sub.add_parser(
+        "report",
+        help="per-pattern cost report (args forwarded to repro.obs.report)",
+        add_help=False,
+    )
 
     p = sub.add_parser("schedule", help="hybrid schedule speedups (Fig. 7)")
     p.add_argument("--cells", type=int, default=655362)
@@ -125,6 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> None:
+    if argv is None:
+        argv = sys.argv[1:]
+    # argparse REMAINDER cannot capture leading --flags; forward verbatim.
+    if argv and argv[0] == "report":
+        _cmd_report(argv[1:])
+        return
     args = build_parser().parse_args(argv)
     args.func(args)
 

@@ -1,0 +1,185 @@
+"""The public, stable entry points of the reproduction.
+
+Everything a caller needs for a model run lives here, one import away::
+
+    from repro.api import SWConfig, build_mesh, run
+
+    result = run("galewsky", mesh=build_mesh(level=3), days=1.0)
+    print(result.mass_drift())
+
+Three functions and their result types form the API surface (snapshotted
+by ``tests/test_public_api.py`` — growing it is fine, breaking it is not):
+
+:func:`build_mesh`
+    The cached SCVT mesh at a refinement level.
+:func:`resolve_case`
+    A :class:`~repro.swm.testcases.TestCase` from a name (``"galewsky"``,
+    ``"tc5"``), a Williamson number, or an already-built case.
+:func:`run`
+    Initialize + integrate + finalize, dispatching on
+    ``SWConfig.parallel``: ``"serial"`` (the in-process model),
+    ``"lockstep"`` (P decomposed ranks, one process) or ``"pool"``
+    (P concurrent shared-memory worker processes).  All three return the
+    same :class:`~repro.swm.model.RunResult` and produce bitwise-identical
+    prognostic state.
+
+The deeper layers (``repro.engine``, ``repro.patterns``, ``repro.hybrid``,
+``repro.obs``, ...) remain importable directly; this module adds no new
+behaviour, only a front door.
+"""
+
+from __future__ import annotations
+
+from .mesh.cache import cached_mesh
+from .mesh.mesh import Mesh
+from .swm.config import SWConfig
+from .swm.error import ErrorNorms, Invariants, error_norms
+from .swm.galewsky import galewsky_jet
+from .swm.model import RunResult, ShallowWaterModel, suggested_dt
+from .swm.state import State
+from .swm.testcases import TEST_CASES, TestCase
+
+__all__ = [
+    "SWConfig",
+    "TestCase",
+    "RunResult",
+    "State",
+    "Mesh",
+    "Invariants",
+    "ErrorNorms",
+    "error_norms",
+    "suggested_dt",
+    "build_mesh",
+    "resolve_case",
+    "run",
+]
+
+#: Case names accepted by :func:`resolve_case` (besides Williamson numbers).
+CASE_NAMES = {
+    "cosine_bell": 1,
+    "advection": 1,
+    "tc1": 1,
+    "steady_zonal_flow": 2,
+    "tc2": 2,
+    "isolated_mountain": 5,
+    "mountain": 5,
+    "tc5": 5,
+    "rossby_haurwitz": 6,
+    "tc6": 6,
+}
+
+
+def build_mesh(
+    level: int = 3,
+    lloyd_iterations: int = 4,
+    radius: float | None = None,
+    use_disk: bool = True,
+) -> Mesh:
+    """The quasi-uniform SCVT mesh at icosahedral refinement ``level``.
+
+    Levels 3/4/5 have 642 / 2562 / 10242 cells.  Built at most once:
+    meshes are cached in memory and (``use_disk``) on disk.
+    """
+    kwargs = {} if radius is None else {"radius": radius}
+    return cached_mesh(
+        level, lloyd_iterations=lloyd_iterations, use_disk=use_disk, **kwargs
+    )
+
+
+def resolve_case(case: TestCase | str | int) -> TestCase:
+    """A :class:`TestCase` from a name, a Williamson number, or itself.
+
+    Accepted names: ``"galewsky"`` (the barotropic-jet benchmark, also
+    ``"galewsky_balanced"`` for the unperturbed variant) and the
+    Williamson catalogue aliases in :data:`CASE_NAMES` (``"tc2"``,
+    ``"steady_zonal_flow"``, ``"tc5"``, ...).  Accepted numbers: the keys
+    of :data:`repro.swm.testcases.TEST_CASES`.
+    """
+    if isinstance(case, TestCase):
+        return case
+    if isinstance(case, str):
+        name = case.strip().lower()
+        if name == "galewsky":
+            return galewsky_jet(perturbed=True)
+        if name == "galewsky_balanced":
+            return galewsky_jet(perturbed=False)
+        if name in CASE_NAMES:
+            return TEST_CASES[CASE_NAMES[name]]()
+        known = sorted(CASE_NAMES) + ["galewsky", "galewsky_balanced"]
+        raise ValueError(f"unknown test case {case!r}; known names: {known}")
+    if case in TEST_CASES:
+        return TEST_CASES[case]()
+    raise ValueError(
+        f"unknown Williamson test case number {case!r}; "
+        f"known numbers: {sorted(TEST_CASES)}"
+    )
+
+
+def run(
+    case: TestCase | str | int,
+    mesh: Mesh | None = None,
+    config: SWConfig | None = None,
+    steps: int | None = None,
+    days: float | None = None,
+    level: int = 3,
+    invariant_interval: int = 0,
+    callback=None,
+) -> RunResult:
+    """Initialize, integrate and finalize one shallow-water run.
+
+    Parameters
+    ----------
+    case : TestCase, str or int
+        What to integrate (see :func:`resolve_case`).
+    mesh : Mesh, optional
+        Defaults to ``build_mesh(level)``.
+    config : SWConfig, optional
+        Defaults to a second-order configuration with the CFL-safe
+        ``suggested_dt`` for the case and mesh.  ``config.parallel``
+        selects the executor; ``config.ranks`` the decomposition width.
+    steps, days : exactly one required
+        Integration length in RK-4 steps or simulated days.
+    invariant_interval, callback
+        Serial-mode extras, forwarded to
+        :meth:`~repro.swm.model.ShallowWaterModel.run` (the decomposed
+        executors record invariants at the endpoints only and reject a
+        per-step callback).
+
+    Returns the same :class:`RunResult` shape for every executor; the
+    prognostic state is bitwise identical across all three modes.
+    """
+    case = resolve_case(case)
+    if mesh is None:
+        mesh = build_mesh(level)
+    if config is None:
+        from .constants import GRAVITY
+
+        config = SWConfig(dt=suggested_dt(mesh, case, GRAVITY))
+    if (steps is None) == (days is None):
+        raise ValueError("specify exactly one of steps/days")
+    if steps is None:
+        from .constants import SECONDS_PER_DAY
+
+        steps = int(round(days * SECONDS_PER_DAY / config.dt))
+
+    if config.parallel == "serial":
+        model = ShallowWaterModel(mesh, config)
+        model.initialize(case)
+        return model.run(
+            steps=steps, invariant_interval=invariant_interval, callback=callback
+        )
+
+    if invariant_interval or callback is not None:
+        raise ValueError(
+            "invariant_interval/callback require parallel='serial'; the "
+            "decomposed executors record invariants at the run endpoints only"
+        )
+    if config.parallel == "lockstep":
+        from .parallel.runner import DecomposedShallowWater
+
+        return DecomposedShallowWater(mesh, config.ranks, case, config).run(steps)
+    # config.validate() constrains parallel to the three known modes.
+    from .parallel.pool import PoolShallowWater
+
+    with PoolShallowWater(mesh, config.ranks, case, config) as pool:
+        return pool.run(steps)

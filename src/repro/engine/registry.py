@@ -117,6 +117,24 @@ class KernelRegistry:
         self._ops: dict[str, OpEntry] = {}
         self._kernels: dict[str, Callable] = {}
 
+    def __reduce__(self):
+        """Pickle support for worker processes.
+
+        Registered implementations include compiled codegen closures that
+        cannot cross a process boundary, so a registry never pickles by
+        value.  The process-default registry pickles as "rebuild the
+        default in the receiving process" — each pool worker then owns an
+        equivalent, independently built table (same registrations, fresh
+        timers).  Custom registries must be rebuilt inside the worker.
+        """
+        if self is _DEFAULT:
+            return (default_registry, ())
+        raise TypeError(
+            "only the process-default KernelRegistry is picklable (it is "
+            "rebuilt on unpickling); construct custom registries inside "
+            "each worker process instead"
+        )
+
     # ------------------------------------------------------------- operators
     def register(self, op: str, backend: str, fn: Callable, **meta) -> OpEntry:
         """Register ``fn`` as the ``backend`` implementation of ``op``.

@@ -88,6 +88,15 @@ class Timer:
         self.min = min(self.min, seconds)
         self.max = max(self.max, seconds)
 
+    def absorb(self, count: int, total: float, min_s: float, max_s: float) -> None:
+        """Fold another timer's statistics into this one (cross-process merge)."""
+        if count <= 0:
+            return
+        self.count += int(count)
+        self.total += total
+        self.min = min(self.min, min_s)
+        self.max = max(self.max, max_s)
+
     @contextmanager
     def time(self) -> Iterator[None]:
         t0 = time.perf_counter()
@@ -154,6 +163,32 @@ class MetricsRegistry:
             }
             for s in self.series()
         ]
+
+    def merge_snapshot(self, snapshot: list[dict], **extra_tags) -> int:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        The cross-process half of observability: worker processes snapshot
+        their private registry and ship the list over a pipe; the parent
+        merges each series here, with ``extra_tags`` (conventionally
+        ``rank=r``) appended so per-worker series stay distinguishable.
+        Counters accumulate, gauges keep the last merged value, timers fold
+        their full statistics.  Returns the number of series merged.
+        """
+        for record in snapshot:
+            tags = dict(record["tags"])
+            tags.update(extra_tags)
+            kind = record["kind"]
+            if kind == "counter":
+                self.counter(record["metric"], **tags).inc(record["value"])
+            elif kind == "gauge":
+                self.gauge(record["metric"], **tags).set(record["value"])
+            elif kind == "timer":
+                self.timer(record["metric"], **tags).absorb(
+                    record["count"], record["total"], record["min"], record["max"]
+                )
+            else:  # pragma: no cover - future kinds must be handled explicitly
+                raise ValueError(f"cannot merge series of kind {kind!r}")
+        return len(snapshot)
 
     def clear(self) -> None:
         self._series.clear()

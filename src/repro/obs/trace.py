@@ -197,6 +197,35 @@ class Tracer:
         self.spans.append(record)
         return record
 
+    def merge_records(self, records: list[dict], **extra_tags) -> int:
+        """Absorb finished spans exported by another tracer (``to_dict``).
+
+        The cross-process half of tracing: pool workers export their
+        finished spans as dicts and the parent merges them here with
+        ``extra_tags`` (conventionally ``rank=r``).  Parent/child tracers
+        have different time origins, so merged spans keep their own time
+        axis and are appended as roots (parent links inside one worker are
+        not preserved — aggregation is by name/tag, which survives).
+        Returns the number of spans merged; no-op while disabled.
+        """
+        if not self.enabled:
+            return 0
+        merged = 0
+        for rec in records:
+            if rec.get("end") is None:
+                continue
+            tags = dict(rec.get("tags", {}))
+            tags.update(extra_tags)
+            self.add_span(
+                rec["name"],
+                rec["start"],
+                rec["end"],
+                category=rec.get("category", "kernel"),
+                **tags,
+            )
+            merged += 1
+        return merged
+
     # ------------------------------------------------------------ inspection
     def finished(self) -> list[SpanRecord]:
         return [s for s in self.spans if s.end is not None]

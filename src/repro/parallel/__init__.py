@@ -1,9 +1,12 @@
 """Distributed substrate: partitioning, halos, functional multi-rank runs,
-and the strong/weak scaling models (Figures 8 and 9)."""
+a shared-memory process pool, and the strong/weak scaling models
+(Figures 8 and 9)."""
 
 from .halo import LocalMesh, build_local_mesh, halo_layers_required
 from .partition import PartitionQuality, partition_cells, partition_quality
-from .runner import DecomposedShallowWater
+from .pool import PoolShallowWater, WorkerPoolError
+from .runner import DecomposedShallowWater, gathered_run_result
+from .shm import SharedState
 from .scaling import (
     ScalingPoint,
     halo_exchange_seconds,
@@ -20,6 +23,10 @@ __all__ = [
     "partition_cells",
     "partition_quality",
     "DecomposedShallowWater",
+    "gathered_run_result",
+    "PoolShallowWater",
+    "WorkerPoolError",
+    "SharedState",
     "ScalingPoint",
     "halo_exchange_seconds",
     "parallel_efficiency",

@@ -1,0 +1,464 @@
+"""Shared-memory process-pool execution of the decomposed model.
+
+:class:`PoolShallowWater` is the concurrent sibling of
+:class:`~repro.parallel.runner.DecomposedShallowWater`: the same
+partitioning, the same per-rank local meshes, the same Algorithm-1 step —
+but each rank lives in its own persistent worker process and genuinely
+steps in parallel, the paper's MPI+OpenMP execution model realized with
+``multiprocessing``.  Selected via ``SWConfig(parallel="pool", ranks=P)``
+through :func:`repro.api.run`.
+
+Execution contract (enforced by the test suite): **the owned portion of
+every rank's state is bitwise identical to the serial run**.  This holds
+because each worker executes the exact per-rank kernel sequence of the
+lockstep runner on an identical :class:`~repro.parallel.halo.LocalMesh`,
+and the halo exchange moves values by pure slice copies through a
+:class:`~repro.parallel.shm.SharedState` segment at exactly the Algorithm-1
+synchronization points.  Each exchange is a two-phase barrier:
+
+1. every rank publishes its owned slices into the shared segment, then
+   waits (no rank may read a halo that is still being written);
+2. every rank refreshes its halo slices from the segment, then waits
+   (no rank may start publishing the *next* exchange while another is
+   still reading this one).
+
+Worker death (a crashed process, an ``os._exit`` mid-step) is recoverable:
+surviving workers time out of the broken barrier and report back, the
+parent restores the last committed global state into the shared segment,
+respawns the dead ranks, reloads every worker and retries the batch —
+bounded by ``RecoveryPolicy.halo_retries`` (a dead worker is a lost halo
+peer), counted under ``resilience.pool.*``.  A successful retry is
+bitwise-invisible, like every other recovery in this repo.
+
+Per-worker observability is private (each worker installs a fresh metrics
+registry and tracer at startup) and is merged into the parent's process-wide
+registry/tracer at gather time, tagged ``rank=r``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+
+import numpy as np
+
+from ..mesh.mesh import Mesh
+from ..obs.metrics import MetricsRegistry, get_registry, set_registry
+from ..obs.trace import Tracer, get_tracer, set_tracer, trace_span
+from ..swm.config import SWConfig
+from ..swm.diagnostics import compute_solve_diagnostics
+from ..swm.state import State
+from ..swm.testcases import TestCase, initialize
+from ..swm.timestep import (
+    RK_ACCUMULATE_WEIGHTS,
+    RK_SUBSTEP_WEIGHTS,
+    accumulative_update,
+    compute_next_substep_state,
+)
+from ..swm.tendencies import compute_tend
+from .halo import build_local_mesh, exchange_bytes, halo_layers_required
+from .partition import partition_cells
+from .runner import gathered_run_result
+from .shm import SharedState
+
+__all__ = ["PoolShallowWater", "WorkerPoolError"]
+
+#: Seconds a worker waits at an exchange barrier before declaring it broken.
+DEFAULT_BARRIER_TIMEOUT = 120.0
+
+
+class WorkerPoolError(RuntimeError):
+    """A pool step failed beyond the bounded respawn budget."""
+
+
+# ---------------------------------------------------------------- worker side
+def _worker_exchange(shared, lm, barrier, timeout: float, state: State) -> None:
+    """One two-phase shared-memory halo exchange (worker side)."""
+    shared.publish_owned(lm, state)
+    barrier.wait(timeout)
+    shared.refresh_halo(lm, state)
+    barrier.wait(timeout)
+
+
+def _worker_step(exchange, lm, state, diag, b_cell, f_vertex, config):
+    """One RK-4 step of one rank — the lockstep per-rank body, verbatim.
+
+    ``exchange(state)`` performs one two-phase shared-memory halo exchange.
+    """
+    dt = config.dt
+    provis = state.copy()
+    provis_diag = diag
+    acc = state.copy()
+    for stage in range(4):
+        exchange(provis)
+        tend_h, tend_u = compute_tend(lm, provis, provis_diag, b_cell, config)
+        accumulative_update(acc, tend_h, tend_u, RK_ACCUMULATE_WEIGHTS[stage] * dt)
+        if stage < 3:
+            provis = compute_next_substep_state(
+                state, tend_h, tend_u, RK_SUBSTEP_WEIGHTS[stage] * dt
+            )
+            exchange(provis)
+            provis_diag = compute_solve_diagnostics(lm, provis, f_vertex, config)
+        else:
+            exchange(acc)
+            diag = compute_solve_diagnostics(lm, acc, f_vertex, config)
+    return acc, diag
+
+
+def _worker_main(
+    rank: int,
+    conn,
+    shared: SharedState,
+    barrier,
+    barrier_timeout: float,
+    lm,
+    b_cell: np.ndarray,
+    f_vertex: np.ndarray,
+    config: SWConfig,
+    trace_enabled: bool,
+    kill_at_step: int | None,
+) -> None:
+    """Persistent worker loop: own rank state, obey parent commands.
+
+    Commands (over the pipe): ``("steps", n)`` advance ``n`` RK-4 steps,
+    acked ``("ok", n)`` or ``("broken", at_step)`` after a barrier break;
+    ``("load", base_step)`` re-slice the local state from the shared
+    segment (post-recovery resynchronization); ``("obs",)`` ship-and-clear
+    this worker's metrics snapshot and finished tracer spans;
+    ``("gather",)`` ship the owned state slices; ``("stop",)`` exit.
+    """
+    from ..engine import default_registry
+    from ..resilience.recovery import use_recovery_policy
+
+    # Private per-process observability: never double-count series that
+    # were forked from the parent.
+    set_registry(MetricsRegistry())
+    set_tracer(Tracer(enabled=trace_enabled))
+    default_registry()  # per-process registry, built (or inherited) up front
+
+    registry = get_registry()
+    bytes_per_exchange = 8.0 * (lm.n_halo_cells + lm.n_halo_edges)
+    halo_bytes = registry.counter("halo.bytes", mode="pool")
+    halo_exchanges = registry.counter("halo.exchanges", mode="pool")
+    steps_done = registry.counter("pool.worker.steps")
+
+    def exchange(state_):
+        with trace_span(
+            "halo_exchange", category="halo", bytes_est=bytes_per_exchange
+        ):
+            _worker_exchange(shared, lm, barrier, barrier_timeout, state_)
+        halo_bytes.inc(bytes_per_exchange)
+        halo_exchanges.inc()
+
+    state = shared.read_local(lm)
+    diag = compute_solve_diagnostics(lm, state, f_vertex, config)
+    step_no = 0
+    conn.send(("ready", rank))
+    with use_recovery_policy(config.recovery_policy()):
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "steps":
+                n = msg[1]
+                try:
+                    for _ in range(n):
+                        step_no += 1
+                        if kill_at_step is not None and step_no == kill_at_step:
+                            os._exit(3)  # simulated worker crash (tests)
+                        with trace_span("pool_step", category="pool", step=step_no):
+                            state, diag = _worker_step(
+                                exchange, lm, state, diag, b_cell, f_vertex, config,
+                            )
+                        steps_done.inc()
+                    conn.send(("ok", n))
+                except threading.BrokenBarrierError:
+                    conn.send(("broken", step_no))
+            elif cmd == "load":
+                state = shared.read_local(lm)
+                diag = compute_solve_diagnostics(lm, state, f_vertex, config)
+                step_no = msg[1]
+                kill_at_step = None  # a test kill fires at most once per spawn
+                conn.send(("loaded", rank))
+            elif cmd == "obs":
+                tracer = get_tracer()
+                conn.send((
+                    "obs",
+                    registry.snapshot(),
+                    [s.to_dict() for s in tracer.finished()],
+                ))
+                registry.clear()
+                tracer.clear()
+            elif cmd == "gather":
+                conn.send((
+                    "state",
+                    state.h[: lm.n_owned_cells].copy(),
+                    state.u[: lm.n_owned_edges].copy(),
+                ))
+            elif cmd == "stop":
+                conn.send(("bye", rank))
+                break
+            else:  # pragma: no cover - protocol error
+                conn.send(("error", f"unknown command {cmd!r}"))
+                break
+    shared.close()
+    conn.close()
+
+
+# ---------------------------------------------------------------- parent side
+class PoolShallowWater:
+    """P concurrent worker ranks stepping the decomposed shallow-water model.
+
+    Construction partitions the mesh, discretizes the test case globally,
+    seeds the shared segment with the initial state and spawns one
+    persistent worker per rank (``fork`` start method where available,
+    ``spawn`` otherwise — all worker arguments are picklable).  Use as a
+    context manager, or call :meth:`close` explicitly.
+
+    Parameters mirror :class:`~repro.parallel.runner.DecomposedShallowWater`
+    plus ``barrier_timeout`` (worker-death detection latency) and the
+    test-only ``kill_at`` mapping ``{rank: step}`` that makes a first-
+    generation worker exit mid-run to exercise the recovery path.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        n_ranks: int,
+        case: TestCase,
+        config: SWConfig,
+        halo_layers: int | None = None,
+        partition_method: str = "kmeans",
+        barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
+        kill_at: dict[int, int] | None = None,
+    ) -> None:
+        self.mesh = mesh
+        self.config = config
+        self.n_ranks = n_ranks
+        self.barrier_timeout = float(barrier_timeout)
+        if halo_layers is None:
+            halo_layers = halo_layers_required(
+                config.thickness_adv_order, config.apvm_upwinding != 0.0
+            )
+        self.owner = partition_cells(mesh, n_ranks, method=partition_method)
+        self.local_meshes = [
+            build_local_mesh(mesh, self.owner, r, halo_layers=halo_layers)
+            for r in range(n_ranks)
+        ]
+
+        global_state, self.b_cell = initialize(mesh, case)
+        if case.coriolis is not None:
+            self.f_vertex = case.coriolis(mesh.metrics.xVertex)
+        else:
+            self.f_vertex = config.coriolis(mesh.metrics.latVertex)
+
+        self._shared = SharedState.create(mesh.nCells, mesh.nEdges)
+        self._shared.write_global(global_state.h, global_state.u)
+        self._snapshot = self._shared.read_global()
+
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._barrier = self._ctx.Barrier(n_ranks)
+        self._workers: list = [None] * n_ranks
+        self._conns: list = [None] * n_ranks
+        self._closed = False
+        self._steps_done = 0
+        self.exchange_count = 0
+
+        registry = get_registry()
+        self._bytes_per_exchange = exchange_bytes(self.local_meshes)
+        registry.gauge(
+            "halo.bytes_per_exchange", ranks=n_ranks, mode="pool"
+        ).set(self._bytes_per_exchange)
+        self._respawns = registry.counter("resilience.pool.respawn", ranks=n_ranks)
+        self._retries = registry.counter(
+            "resilience.recovery.retry", site="pool.step", ranks=n_ranks
+        )
+
+        kill_at = kill_at or {}
+        for r in range(n_ranks):
+            self._spawn(r, kill_at.get(r))
+        self._await("ready", range(n_ranks))
+
+    # ----------------------------------------------------------- process mgmt
+    def _spawn(self, rank: int, kill_at_step: int | None = None) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                rank, child_conn, self._shared, self._barrier,
+                self.barrier_timeout, self.local_meshes[rank],
+                self.b_cell[self.local_meshes[rank].cells_global],
+                self.f_vertex[self.local_meshes[rank].vertices_global],
+                self.config, get_tracer().enabled, kill_at_step,
+            ),
+            daemon=True,
+            name=f"repro-pool-rank{rank}",
+        )
+        proc.start()
+        child_conn.close()
+        self._workers[rank] = proc
+        self._conns[rank] = parent_conn
+
+    def _await(self, expected: str, ranks) -> list[int]:
+        """Collect one ack per rank; returns the ranks that died instead."""
+        pending = set(ranks)
+        dead: list[int] = []
+        while pending:
+            for r in sorted(pending):
+                conn = self._conns[r]
+                try:
+                    if conn.poll(0.02):
+                        msg = conn.recv()
+                        pending.discard(r)
+                        if msg[0] != expected:
+                            dead.append(r)
+                        continue
+                except (EOFError, OSError):
+                    # Pipe closed from the other side: the worker is gone.
+                    pending.discard(r)
+                    dead.append(r)
+                    continue
+                if not self._workers[r].is_alive():
+                    pending.discard(r)
+                    dead.append(r)
+            time.sleep(0.0 if not pending else 0.005)
+        return dead
+
+    def _broadcast(self, message: tuple, ranks=None) -> None:
+        for r in ranks if ranks is not None else range(self.n_ranks):
+            self._conns[r].send(message)
+
+    def _recover(self, dead: list[int]) -> None:
+        """Respawn dead ranks and rewind everyone to the last committed state."""
+        for r in set(dead):
+            proc = self._workers[r]
+            if proc.is_alive():  # acked something unexpected; treat as lost
+                proc.terminate()
+            proc.join(timeout=10.0)
+            self._conns[r].close()
+        self._barrier.reset()
+        self._shared.write_global(*self._snapshot)
+        for r in set(dead):
+            self._respawns.inc()
+            self._spawn(r)
+        still_dead = self._await("ready", set(dead))
+        if still_dead:
+            raise WorkerPoolError(f"respawned ranks died again: {still_dead}")
+        survivors = [r for r in range(self.n_ranks) if r not in set(dead)]
+        self._broadcast(("load", self._steps_done), survivors)
+        lost = self._await("loaded", survivors)
+        if lost:
+            raise WorkerPoolError(f"ranks lost during recovery reload: {lost}")
+
+    # ------------------------------------------------------------------- run
+    def step(self) -> None:
+        """Advance one RK-4 step across all ranks (concurrently)."""
+        self._run_steps(1)
+
+    def run(self, steps: int):
+        """Integrate ``steps`` steps; returns the gathered
+        :class:`~repro.swm.model.RunResult` (same contract as the serial
+        model and the lockstep runner)."""
+        if self._closed:
+            raise WorkerPoolError("pool is closed")
+        start_state = self.gather_state()
+        self._run_steps(steps)
+        self._merge_observability()
+        return gathered_run_result(
+            self.mesh, start_state, self.gather_state(),
+            self.b_cell, self.f_vertex, self.config, steps,
+        )
+
+    def _run_steps(self, steps: int) -> None:
+        if self._closed:
+            raise WorkerPoolError("pool is closed")
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        # A dead worker is a lost halo peer; the respawn budget is the same
+        # knob that bounds lost-message retries in the lockstep runner.
+        budget = self.config.halo_retries
+        attempt = 0
+        while True:
+            self._broadcast(("steps", steps))
+            dead = self._await("ok", range(self.n_ranks))
+            if not dead:
+                break
+            if attempt >= budget:
+                self.close()
+                raise WorkerPoolError(
+                    f"ranks {sorted(set(dead))} failed and the respawn budget "
+                    f"({budget} retries) is exhausted"
+                )
+            attempt += 1
+            self._retries.inc()
+            self._recover(dead)
+        self._steps_done += steps
+        # Every exchange of the batch completed on every rank; the final
+        # exchange published each rank's accepted state, so the shared
+        # segment now holds the committed global state.
+        self.exchange_count += 8 * steps
+        self._snapshot = self._shared.read_global()
+
+    # ------------------------------------------------------------- gathering
+    def gather_state(self) -> State:
+        """The global state assembled in the shared segment (private copy)."""
+        h, u = self._shared.read_global()
+        return State(h=h, u=u)
+
+    def _merge_observability(self) -> None:
+        """Pull per-worker metrics/spans into the parent registry/tracer."""
+        registry = get_registry()
+        tracer = get_tracer()
+        self._broadcast(("obs",))
+        for r in range(self.n_ranks):
+            conn = self._conns[r]
+            if not conn.poll(self.barrier_timeout):  # pragma: no cover - hang
+                continue
+            msg = conn.recv()
+            if msg[0] != "obs":  # pragma: no cover - protocol error
+                continue
+            registry.merge_snapshot(msg[1], rank=r)
+            tracer.merge_records(msg[2], rank=r)
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Stop the workers and release the shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for r in range(self.n_ranks):
+            proc, conn = self._workers[r], self._conns[r]
+            if proc is None:
+                continue
+            try:
+                if proc.is_alive():
+                    conn.send(("stop",))
+                    conn.poll(5.0)
+            except (BrokenPipeError, OSError):
+                pass
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._shared.close()
+        self._shared.unlink()
+
+    def __enter__(self) -> "PoolShallowWater":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

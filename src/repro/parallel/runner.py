@@ -41,7 +41,50 @@ from ..swm.timestep import (
 from .halo import LocalMesh, build_local_mesh, exchange_bytes, halo_layers_required
 from .partition import partition_cells
 
-__all__ = ["DecomposedShallowWater"]
+__all__ = ["DecomposedShallowWater", "gathered_run_result"]
+
+
+def gathered_run_result(
+    mesh: Mesh,
+    start_state: State,
+    final_state: State,
+    b_cell: np.ndarray,
+    f_vertex: np.ndarray,
+    config: SWConfig,
+    steps: int,
+):
+    """Build the serial-shaped :class:`~repro.swm.model.RunResult` for a
+    gathered decomposed run.
+
+    Both multi-rank executors (lockstep and pool) end a run holding the
+    gathered global state; this recomputes the global diagnostics,
+    cell-centre reconstruction and the start/end conserved integrals from
+    it so their ``run()`` honours the same contract as
+    :meth:`repro.swm.model.ShallowWaterModel.run` — ``mass_drift()`` /
+    ``energy_drift()`` work unchanged.  Diagnostics are a pure function of
+    the state, so the recomputation introduces no new numbers.
+    """
+    from ..engine import default_registry
+    from ..swm.error import invariants
+    from ..swm.model import RunResult
+
+    start_diag = compute_solve_diagnostics(mesh, start_state, f_vertex, config)
+    final_diag = compute_solve_diagnostics(mesh, final_state, f_vertex, config)
+    recon = default_registry().kernel("mpas_reconstruct")(
+        mesh, final_state.u, backend=config.backend
+    )
+    history = [
+        invariants(mesh, start_state, start_diag, b_cell, config.gravity),
+        invariants(mesh, final_state, final_diag, b_cell, config.gravity),
+    ]
+    return RunResult(
+        state=final_state,
+        diagnostics=final_diag,
+        reconstruction=recon,
+        steps=steps,
+        elapsed_seconds=steps * config.dt,
+        invariant_history=history,
+    )
 
 
 @dataclass
@@ -75,7 +118,13 @@ class DecomposedShallowWater:
         self.owner = partition_cells(mesh, n_ranks, method=partition_method)
 
         global_state, global_b = initialize(mesh, case)
-        f_vertex_global = config.coriolis(mesh.metrics.latVertex)
+        if case.coriolis is not None:
+            f_vertex_global = case.coriolis(mesh.metrics.xVertex)
+        else:
+            f_vertex_global = config.coriolis(mesh.metrics.latVertex)
+        self.start_state = State(h=global_state.h.copy(), u=global_state.u.copy())
+        self.b_cell = global_b
+        self.f_vertex = f_vertex_global
 
         self.ranks: list[_RankData] = []
         for r in range(n_ranks):
@@ -190,9 +239,16 @@ class DecomposedShallowWater:
                     )
                     rd.state = a
 
-    def run(self, steps: int) -> None:
+    def run(self, steps: int):
+        """Integrate ``steps`` steps; returns the gathered
+        :class:`~repro.swm.model.RunResult` (the serial-run contract)."""
+        start_state = self.gather_state()
         for _ in range(steps):
             self.step()
+        return gathered_run_result(
+            self.mesh, start_state, self.gather_state(),
+            self.b_cell, self.f_vertex, self.config, steps,
+        )
 
     # ------------------------------------------------------------- gathering
     def gather_state(self) -> State:

@@ -1,0 +1,135 @@
+"""Shared-memory prognostic state for the process-pool executor.
+
+The pool runner (:mod:`repro.parallel.pool`) holds the *global* prognostic
+fields ``h`` (cells) and ``u`` (edges) in one ``multiprocessing.shared_memory``
+segment mapped into every worker process.  A halo exchange is then two pure
+slice copies per rank — owned slices in, halo slices out — with no
+serialization and no parent round-trip, exactly the red synchronization
+arrows of Figure 2 priced at memory bandwidth instead of pickling.
+
+Layout: a single float64 segment, ``h`` in the first ``n_cells`` slots and
+``u`` in the following ``n_edges``.  The copies are index assignments only
+(no arithmetic), so the values that flow through the segment are bitwise
+identical to the in-process lockstep exchange
+(:class:`repro.parallel.runner.DecomposedShallowWater._exchange`).
+
+Lifecycle: the parent :meth:`SharedState.create`\\ s and eventually
+:meth:`SharedState.unlink`\\ s the segment; workers receive the
+``SharedState`` object (inherited directly under ``fork``, re-attached by
+name when pickled under ``spawn``) and only ever :meth:`SharedState.close`
+their mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SharedState"]
+
+_FLOAT = np.float64
+
+
+class SharedState:
+    """The global ``(h, u)`` state in one named shared-memory segment."""
+
+    def __init__(self, shm, n_cells: int, n_edges: int, owner: bool) -> None:
+        self._shm = shm
+        self.n_cells = int(n_cells)
+        self.n_edges = int(n_edges)
+        self._owner = owner
+        flat = np.ndarray(
+            (self.n_cells + self.n_edges,), dtype=_FLOAT, buffer=shm.buf
+        )
+        #: Global thickness field, aliased into the shared segment.
+        self.h = flat[: self.n_cells]
+        #: Global normal-velocity field, aliased into the shared segment.
+        self.u = flat[self.n_cells :]
+
+    # ------------------------------------------------------------- lifecycle
+    @classmethod
+    def create(cls, n_cells: int, n_edges: int) -> "SharedState":
+        """Allocate a fresh zeroed segment (parent side; call ``unlink``)."""
+        from multiprocessing import shared_memory
+
+        nbytes = (int(n_cells) + int(n_edges)) * np.dtype(_FLOAT).itemsize
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        return cls(shm, n_cells, n_edges, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, n_cells: int, n_edges: int) -> "SharedState":
+        """Map an existing segment by name (worker side; call ``close``)."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        # The parent's resource tracker already accounts for this segment;
+        # a worker-side attach must not re-register it, or the tracker
+        # reports a spurious leak when the worker exits without unlinking.
+        try:
+            from multiprocessing.resource_tracker import unregister
+
+            unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+        return cls(shm, n_cells, n_edges, owner=False)
+
+    @property
+    def name(self) -> str:
+        """OS-level segment name (the attach key)."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        self.h = self.u = None  # release views into the buffer first
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray external views
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; mappings must be closed first)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+    # -------------------------------------------------------------- pickling
+    def __getstate__(self) -> tuple:
+        # Spawned workers re-attach by name; forked workers never pickle.
+        return (self.name, self.n_cells, self.n_edges)
+
+    def __setstate__(self, state: tuple) -> None:
+        name, n_cells, n_edges = state
+        other = SharedState.attach(name, n_cells, n_edges)
+        self.__dict__.update(other.__dict__)
+
+    # ------------------------------------------------------------ state I/O
+    def write_global(self, h: np.ndarray, u: np.ndarray) -> None:
+        """Overwrite the whole shared state (init / snapshot restore)."""
+        self.h[:] = h
+        self.u[:] = u
+
+    def read_global(self) -> tuple[np.ndarray, np.ndarray]:
+        """Private copies of the full shared fields."""
+        return self.h.copy(), self.u.copy()
+
+    def publish_owned(self, local_mesh, state) -> None:
+        """Phase one of an exchange: write this rank's owned slices."""
+        lm = local_mesh
+        self.h[lm.cells_global[: lm.n_owned_cells]] = state.h[: lm.n_owned_cells]
+        self.u[lm.edges_global[: lm.n_owned_edges]] = state.u[: lm.n_owned_edges]
+
+    def refresh_halo(self, local_mesh, state) -> None:
+        """Phase two of an exchange: read this rank's halo slices."""
+        lm = local_mesh
+        state.h[lm.n_owned_cells :] = self.h[lm.cells_global[lm.n_owned_cells :]]
+        state.u[lm.n_owned_edges :] = self.u[lm.edges_global[lm.n_owned_edges :]]
+
+    def read_local(self, local_mesh):
+        """This rank's full local state (owned + halo) as private copies."""
+        from ..swm.state import State
+
+        lm = local_mesh
+        return State(
+            h=self.h[lm.cells_global].copy(), u=self.u[lm.edges_global].copy()
+        )

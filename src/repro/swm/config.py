@@ -46,6 +46,17 @@ class SWConfig:
         Execution backend for the stencil operators (``"numpy"``,
         ``"scatter"`` or ``"codegen"``); every kernel dispatches through the
         :mod:`repro.engine` registry under this name.
+    parallel : str
+        Execution mode of the run (dispatched by :func:`repro.api.run`):
+        ``"serial"`` integrates in-process; ``"lockstep"`` steps ``ranks``
+        decomposed ranks inside one process
+        (:class:`repro.parallel.runner.DecomposedShallowWater`);
+        ``"pool"`` steps them concurrently in a persistent shared-memory
+        worker pool (:class:`repro.parallel.pool.PoolShallowWater`).
+        All three produce bitwise-identical owned state.
+    ranks : int
+        Number of decomposed ranks for the ``"lockstep"``/``"pool"`` modes
+        (must stay 1 for ``"serial"``).
     backend_retries, halo_retries, halo_backoff_s, transfer_retries
         Bounded-retry knobs of the recovery policy installed for the
         duration of a model run (see :class:`repro.resilience.recovery.
@@ -84,6 +95,8 @@ class SWConfig:
     hyperviscosity: float = 0.0
     advection_only: bool = False
     backend: str = "numpy"
+    parallel: str = "serial"
+    ranks: int = 1
     backend_retries: int = 1
     halo_retries: int = 2
     halo_backoff_s: float = 0.0
@@ -96,29 +109,58 @@ class SWConfig:
     checkpoint_interval: int = 0
     max_rollbacks: int = 3
 
+    #: Execution modes accepted by :attr:`parallel`.
+    PARALLEL_MODES = ("serial", "lockstep", "pool")
+
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject inconsistent configurations with actionable messages.
+
+        Called automatically at construction; call it again after mutating
+        fields in place.  Raises :class:`ValueError` naming the offending
+        field and the accepted values.
+        """
         if self.dt <= 0.0:
-            raise ValueError("dt must be positive")
+            raise ValueError(f"dt must be positive, got {self.dt!r}")
         if self.thickness_adv_order not in (2, 3, 4):
-            raise ValueError("thickness_adv_order must be 2, 3 or 4")
+            raise ValueError(
+                "thickness_adv_order must be 2, 3 or 4, "
+                f"got {self.thickness_adv_order!r}"
+            )
         if self.viscosity < 0.0:
             raise ValueError("viscosity must be non-negative")
         if self.hyperviscosity < 0.0:
             raise ValueError("hyperviscosity must be non-negative")
         if self.guard_policy not in ("halt", "rollback"):
-            raise ValueError("guard_policy must be 'halt' or 'rollback'")
+            raise ValueError(
+                f"guard_policy must be 'halt' or 'rollback', got {self.guard_policy!r}"
+            )
         for name in (
             "backend_retries", "halo_retries", "transfer_retries",
             "guard_interval", "checkpoint_interval", "max_rollbacks",
         ):
             if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be >= 0")
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)!r}")
         for name in (
             "halo_backoff_s", "guard_mass_drift", "guard_energy_drift",
             "guard_cfl_max",
         ):
             if getattr(self, name) < 0.0:
-                raise ValueError(f"{name} must be >= 0")
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)!r}")
+        if self.parallel not in self.PARALLEL_MODES:
+            raise ValueError(
+                f"parallel must be one of {self.PARALLEL_MODES}, "
+                f"got {self.parallel!r}"
+            )
+        if int(self.ranks) != self.ranks or self.ranks < 1:
+            raise ValueError(f"ranks must be a positive integer, got {self.ranks!r}")
+        if self.parallel == "serial" and self.ranks != 1:
+            raise ValueError(
+                f"ranks={self.ranks} needs a decomposed mode: "
+                "set parallel='pool' or parallel='lockstep'"
+            )
         from ..engine import BACKENDS  # deferred: config must stay import-light
 
         if self.backend not in BACKENDS:

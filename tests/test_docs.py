@@ -14,7 +14,13 @@ import pytest
 DOCS = Path(__file__).resolve().parent.parent / "docs"
 OPTIONFLAGS = doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
 
-DOCTESTED = ["observability.md", "architecture.md", "backends.md", "resilience.md"]
+DOCTESTED = [
+    "api.md",
+    "observability.md",
+    "architecture.md",
+    "backends.md",
+    "resilience.md",
+]
 
 
 @pytest.mark.parametrize("name", DOCTESTED)

@@ -1,0 +1,225 @@
+"""The shared-memory process-pool executor (repro.parallel.pool / .shm).
+
+The contract under test is the one the lockstep runner already honours:
+the pool's gathered prognostic state is **bitwise identical** to the
+serial run — now with ranks stepping concurrently in worker processes,
+halo exchanges through a shared-memory segment, and worker death healed
+by bounded respawn without perturbing a single bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import GRAVITY
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import Tracer, use_tracer
+from repro.parallel import (
+    DecomposedShallowWater,
+    PoolShallowWater,
+    SharedState,
+    WorkerPoolError,
+    build_local_mesh,
+    partition_cells,
+)
+from repro.swm import (
+    ShallowWaterModel,
+    State,
+    SWConfig,
+    isolated_mountain,
+    steady_zonal_flow,
+    suggested_dt,
+)
+
+# Generous for loaded CI machines, tiny against the 120 s default: these
+# runs take well under a second per barrier cycle.
+TIMEOUT = 30.0
+
+
+def _serial(mesh, case, cfg, steps):
+    model = ShallowWaterModel(mesh, cfg)
+    model.initialize(case)
+    return model.run(steps=steps)
+
+
+class TestSharedState:
+    def test_round_trip_and_slices(self, mesh3, rng):
+        h = rng.standard_normal(mesh3.nCells)
+        u = rng.standard_normal(mesh3.nEdges)
+        shared = SharedState.create(mesh3.nCells, mesh3.nEdges)
+        try:
+            shared.write_global(h, u)
+            rh, ru = shared.read_global()
+            assert np.array_equal(rh, h) and np.array_equal(ru, u)
+
+            owner = partition_cells(mesh3, 2)
+            lm = build_local_mesh(mesh3, owner, 0)
+            local = shared.read_local(lm)
+            assert np.array_equal(local.h, h[lm.cells_global])
+
+            # publish modified owned values, then refresh a halo from them
+            local.h[: lm.n_owned_cells] += 1.0
+            shared.publish_owned(lm, local)
+            assert np.array_equal(
+                shared.h[lm.cells_global[: lm.n_owned_cells]],
+                local.h[: lm.n_owned_cells],
+            )
+            other = build_local_mesh(mesh3, owner, 1)
+            peer = shared.read_local(other)
+            halo = State(h=peer.h.copy(), u=peer.u.copy())
+            halo.h[other.n_owned_cells :] = 0.0
+            shared.refresh_halo(other, halo)
+            assert np.array_equal(
+                halo.h[other.n_owned_cells :],
+                shared.h[other.cells_global[other.n_owned_cells :]],
+            )
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_pickle_reattaches_by_name(self, mesh3):
+        import pickle
+
+        shared = SharedState.create(8, 4)
+        try:
+            shared.h[:] = np.arange(8.0)
+            clone = pickle.loads(pickle.dumps(shared))
+            assert clone.name == shared.name
+            assert np.array_equal(clone.h, shared.h)
+            clone.close()
+        finally:
+            shared.close()
+            shared.unlink()
+
+
+class TestPoolRuns:
+    @pytest.mark.parametrize("n_ranks", [2, 4])
+    def test_bitwise_equal_tc2(self, mesh3, n_ranks):
+        case = steady_zonal_flow()
+        cfg = SWConfig(dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.6))
+        res = _serial(mesh3, case, cfg, steps=5)
+        with PoolShallowWater(
+            mesh3, n_ranks, case, cfg, barrier_timeout=TIMEOUT
+        ) as pool:
+            pres = pool.run(5)
+        assert np.array_equal(pres.state.h, res.state.h)
+        assert np.array_equal(pres.state.u, res.state.u)
+
+    def test_bitwise_equal_tc5_high_order(self, mesh3):
+        case = isolated_mountain()
+        cfg = SWConfig(
+            dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.5), thickness_adv_order=4
+        )
+        res = _serial(mesh3, case, cfg, steps=4)
+        with PoolShallowWater(mesh3, 4, case, cfg, barrier_timeout=TIMEOUT) as pool:
+            pres = pool.run(4)
+        assert np.array_equal(pres.state.h, res.state.h)
+        assert np.array_equal(pres.state.u, res.state.u)
+
+    def test_matches_lockstep_and_counts_exchanges(self, mesh3):
+        case = steady_zonal_flow()
+        cfg = SWConfig(dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.6))
+        dec = DecomposedShallowWater(mesh3, 2, case, cfg)
+        dres = dec.run(3)
+        with PoolShallowWater(mesh3, 2, case, cfg, barrier_timeout=TIMEOUT) as pool:
+            pres = pool.run(3)
+            # Figure 2: two exchanges per substage, four substages per step.
+            assert pool.exchange_count == 8 * 3
+        assert np.array_equal(pres.state.h, dres.state.h)
+        assert np.array_equal(pres.state.u, dres.state.u)
+
+    def test_run_result_contract(self, mesh3):
+        case = steady_zonal_flow()
+        cfg = SWConfig(dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.6))
+        res = _serial(mesh3, case, cfg, steps=3)
+        dec = DecomposedShallowWater(mesh3, 2, case, cfg)
+        dres = dec.run(3)
+        with PoolShallowWater(mesh3, 2, case, cfg, barrier_timeout=TIMEOUT) as pool:
+            pres = pool.run(3)
+        for r in (dres, pres):
+            assert r.steps == 3
+            assert r.elapsed_seconds == pytest.approx(3 * cfg.dt)
+            assert len(r.invariant_history) == 2
+            assert r.reconstruction is not None
+            # identical states => identical drifts (diagnostics are pure)
+            assert r.mass_drift() == pytest.approx(res.mass_drift(), abs=1e-15)
+            assert r.energy_drift() == pytest.approx(res.energy_drift(), rel=1e-6)
+
+    def test_step_batches_compose(self, mesh3):
+        case = steady_zonal_flow()
+        cfg = SWConfig(dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.6))
+        res = _serial(mesh3, case, cfg, steps=4)
+        with PoolShallowWater(mesh3, 2, case, cfg, barrier_timeout=TIMEOUT) as pool:
+            pool.step()
+            pool.run(2)
+            pool.step()
+            gathered = pool.gather_state()
+        assert np.array_equal(gathered.h, res.state.h)
+        assert np.array_equal(gathered.u, res.state.u)
+
+
+class TestPoolRecovery:
+    def test_worker_death_is_bitwise_invisible(self, mesh3):
+        case = steady_zonal_flow()
+        cfg = SWConfig(dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.6))
+        res = _serial(mesh3, case, cfg, steps=4)
+        with use_registry(MetricsRegistry()) as registry:
+            with PoolShallowWater(
+                mesh3, 2, case, cfg, barrier_timeout=5.0, kill_at={1: 2}
+            ) as pool:
+                pres = pool.run(4)
+            respawns = sum(
+                rec["value"]
+                for rec in registry.snapshot()
+                if rec["metric"] == "resilience.pool.respawn"
+            )
+        assert respawns >= 1
+        assert np.array_equal(pres.state.h, res.state.h)
+        assert np.array_equal(pres.state.u, res.state.u)
+
+    def test_respawn_budget_exhausted_raises(self, mesh3):
+        case = steady_zonal_flow()
+        cfg = SWConfig(
+            dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.6), halo_retries=0
+        )
+        with pytest.raises(WorkerPoolError, match="respawn budget"):
+            with PoolShallowWater(
+                mesh3, 2, case, cfg, barrier_timeout=5.0, kill_at={0: 1}
+            ) as pool:
+                pool.run(2)
+
+    def test_closed_pool_rejects_work(self, mesh3):
+        case = steady_zonal_flow()
+        cfg = SWConfig(dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.6))
+        pool = PoolShallowWater(mesh3, 2, case, cfg, barrier_timeout=TIMEOUT)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(WorkerPoolError, match="closed"):
+            pool.run(1)
+
+
+class TestPoolObservability:
+    def test_worker_metrics_and_spans_merge_with_rank_tags(self, mesh3):
+        case = steady_zonal_flow()
+        cfg = SWConfig(dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.6))
+        with use_registry(MetricsRegistry()) as registry:
+            with use_tracer(Tracer(enabled=True)) as tracer:
+                with PoolShallowWater(
+                    mesh3, 2, case, cfg, barrier_timeout=TIMEOUT
+                ) as pool:
+                    pool.run(2)
+                span_ranks = {
+                    s.tags.get("rank")
+                    for s in tracer.finished()
+                    if "rank" in s.tags
+                }
+        snap = registry.snapshot()
+        exchanges = {
+            rec["tags"]["rank"]: rec["value"]
+            for rec in snap
+            if rec["metric"] == "halo.exchanges" and "rank" in rec["tags"]
+        }
+        # every rank contributed its 8-per-step exchange count
+        assert exchanges == {0: 16.0, 1: 16.0}
+        assert span_ranks == {0, 1}

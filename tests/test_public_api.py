@@ -1,0 +1,184 @@
+"""The public API surface (repro.api / repro) — stability and behaviour.
+
+Two kinds of guarantees:
+
+* **Surface**: ``repro.api.__all__`` and ``repro.__all__`` are snapshotted
+  here.  Adding names requires updating the snapshot (deliberate);
+  removing or renaming breaks these tests (the point).  Every exported
+  name must be importable and documented.
+* **Behaviour**: ``run()`` dispatches on ``SWConfig.parallel`` and all
+  three executors produce bitwise-identical prognostic state — checked
+  here on the Galewsky jet at 4 ranks for both the numpy and codegen
+  backends, per the reproduction's headline contract.
+* **Validation**: ``SWConfig.validate()`` rejects inconsistent
+  configurations at construction with actionable messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import api
+
+# ----------------------------------------------------------------- surface
+API_SURFACE = {
+    "SWConfig",
+    "TestCase",
+    "RunResult",
+    "State",
+    "Mesh",
+    "Invariants",
+    "ErrorNorms",
+    "error_norms",
+    "suggested_dt",
+    "build_mesh",
+    "resolve_case",
+    "run",
+}
+
+PACKAGE_SURFACE = {
+    "RunResult",
+    "SWConfig",
+    "TestCase",
+    "build_mesh",
+    "resolve_case",
+    "run",
+    "suggested_dt",
+    "__version__",
+}
+
+
+class TestSurface:
+    def test_api_all_snapshot(self):
+        assert set(api.__all__) == API_SURFACE
+
+    def test_package_all_snapshot(self):
+        assert set(repro.__all__) == PACKAGE_SURFACE
+
+    @pytest.mark.parametrize("name", sorted(API_SURFACE))
+    def test_api_names_importable_and_documented(self, name):
+        obj = getattr(api, name)
+        assert obj is not None
+        if callable(obj):
+            assert obj.__doc__, f"api.{name} has no docstring"
+
+    def test_package_reexports_are_the_api_objects(self):
+        for name in PACKAGE_SURFACE - {"__version__"}:
+            assert getattr(repro, name) is getattr(api, name)
+
+
+class TestResolveCase:
+    def test_names_and_numbers_agree(self):
+        assert api.resolve_case("tc2").number == api.resolve_case(2).number == 2
+        assert api.resolve_case("steady_zonal_flow").name == "steady_zonal_flow"
+        assert api.resolve_case("TC5").number == 5
+
+    def test_galewsky_variants(self):
+        assert api.resolve_case("galewsky").name == "galewsky_jet"
+        assert api.resolve_case("galewsky_balanced").name == "galewsky_jet_balanced"
+
+    def test_case_passes_through(self):
+        case = api.resolve_case("tc6")
+        assert api.resolve_case(case) is case
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="known names"):
+            api.resolve_case("tc99")
+        with pytest.raises(ValueError, match="known numbers"):
+            api.resolve_case(99)
+
+
+class TestRunDispatch:
+    def test_requires_exactly_one_of_steps_days(self, mesh3):
+        cfg = api.SWConfig(dt=600.0)
+        with pytest.raises(ValueError, match="steps/days"):
+            api.run("tc2", mesh=mesh3, config=cfg)
+        with pytest.raises(ValueError, match="steps/days"):
+            api.run("tc2", mesh=mesh3, config=cfg, steps=1, days=1.0)
+
+    def test_serial_extras_rejected_in_decomposed_modes(self, mesh3):
+        cfg = api.SWConfig(dt=600.0, parallel="lockstep", ranks=2)
+        with pytest.raises(ValueError, match="parallel='serial'"):
+            api.run("tc2", mesh=mesh3, config=cfg, steps=1, invariant_interval=5)
+
+    @pytest.mark.parametrize("backend", ["numpy", "codegen"])
+    def test_galewsky_pool_bitwise_equals_serial(self, mesh3, backend):
+        """The headline contract: 10 steps, 4 ranks, owned state bitwise."""
+        case = api.resolve_case("galewsky")
+        dt = api.suggested_dt(mesh3, case, 9.80616, cfl=0.5)
+        serial = api.run(
+            case, mesh=mesh3, config=api.SWConfig(dt=dt, backend=backend), steps=10
+        )
+        pooled = api.run(
+            case,
+            mesh=mesh3,
+            config=api.SWConfig(dt=dt, backend=backend, parallel="pool", ranks=4),
+            steps=10,
+        )
+        assert np.array_equal(pooled.state.h, serial.state.h)
+        assert np.array_equal(pooled.state.u, serial.state.u)
+
+    def test_lockstep_mode_dispatches_and_matches(self, mesh3):
+        case = api.resolve_case("tc2")
+        dt = api.suggested_dt(mesh3, case, 9.80616, cfl=0.6)
+        serial = api.run(case, mesh=mesh3, config=api.SWConfig(dt=dt), steps=3)
+        lock = api.run(
+            case,
+            mesh=mesh3,
+            config=api.SWConfig(dt=dt, parallel="lockstep", ranks=3),
+            steps=3,
+        )
+        assert np.array_equal(lock.state.h, serial.state.h)
+        assert isinstance(lock, api.RunResult)
+
+
+class TestConfigValidation:
+    def test_valid_config_constructs(self):
+        api.SWConfig(dt=600.0, parallel="pool", ranks=4)
+
+    def test_rejects_non_positive_dt(self):
+        with pytest.raises(ValueError, match="dt must be positive"):
+            api.SWConfig(dt=0.0)
+        with pytest.raises(ValueError, match="dt must be positive"):
+            api.SWConfig(dt=-60.0)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            api.SWConfig(dt=600.0, backend="cuda")
+
+    def test_rejects_unknown_parallel_mode(self):
+        with pytest.raises(ValueError, match="parallel must be one of"):
+            api.SWConfig(dt=600.0, parallel="mpi")
+
+    def test_rejects_bad_ranks(self):
+        with pytest.raises(ValueError, match="ranks must be a positive integer"):
+            api.SWConfig(dt=600.0, parallel="pool", ranks=0)
+        with pytest.raises(ValueError, match="ranks must be a positive integer"):
+            api.SWConfig(dt=600.0, parallel="pool", ranks=2.5)
+
+    def test_rejects_serial_with_many_ranks(self):
+        with pytest.raises(ValueError, match="parallel='pool'"):
+            api.SWConfig(dt=600.0, ranks=4)
+
+    @pytest.mark.parametrize(
+        "field", ["backend_retries", "halo_retries", "transfer_retries"]
+    )
+    def test_rejects_negative_retry_knobs(self, field):
+        with pytest.raises(ValueError, match=f"{field} must be >= 0"):
+            api.SWConfig(dt=600.0, **{field: -1})
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(ValueError, match="halo_backoff_s must be >= 0"):
+            api.SWConfig(dt=600.0, halo_backoff_s=-0.5)
+
+    def test_rejects_bad_advection_order(self):
+        with pytest.raises(ValueError, match="thickness_adv_order"):
+            api.SWConfig(dt=600.0, thickness_adv_order=5)
+
+    def test_validate_recallable_after_mutation(self):
+        cfg = api.SWConfig(dt=600.0)
+        cfg.dt = -1.0
+        with pytest.raises(ValueError, match="dt must be positive"):
+            cfg.validate()
