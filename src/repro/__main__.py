@@ -157,7 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--days", type=float, default=None)
     p.add_argument("--cfl", type=float, default=0.6)
     p.add_argument("--order", type=int, default=2, choices=(2, 3, 4))
-    p.add_argument("--backend", default="numpy")
+    p.add_argument(
+        "--backend", default="numpy",
+        help="engine execution backend (numpy/scatter/codegen/sparse)",
+    )
     p.add_argument(
         "--parallel", default="serial", choices=("serial", "lockstep", "pool")
     )

@@ -1,8 +1,8 @@
 """Pattern-driven execution engine: kernel registry + pluggable backends.
 
 The one way kernels execute.  See :mod:`repro.engine.registry` for the
-dispatch mechanics, :mod:`repro.engine.backends` for the three built-in
-backends (``numpy`` / ``scatter`` / ``codegen``), and
+dispatch mechanics, :mod:`repro.engine.backends` for the four built-in
+backends (``numpy`` / ``scatter`` / ``codegen`` / ``sparse``), and
 :mod:`repro.engine.split` for split execution across two logical devices.
 
 Importing this package is deliberately light (no backend modules are

@@ -1,7 +1,7 @@
-"""Registration of the three built-in backends.
+"""Registration of the four built-in backends.
 
 One declarative table (:data:`OPS`) lists every stencil operator of the
-model with its Table I attribution and gather stencil; three registration
+model with its Table I attribution and gather stencil; four registration
 passes then attach implementations:
 
 * ``numpy`` — the production gather operators (:mod:`repro.swm.operators`,
@@ -18,6 +18,16 @@ passes then attach implementations:
   ``coriolis_edge_term``) are *compositions* of compiled kernels with
   point-local pre/post arithmetic — the same decomposition the Table I
   catalog uses to price them.
+* ``sparse`` — fixed-sparsity stencils compiled once per mesh into
+  ``scipy.sparse`` CSR operators and applied as matvecs
+  (:mod:`repro.engine.sparse`), memoized in a two-level in-memory +
+  versioned on-disk operator cache.
+
+Backends other than ``numpy`` are intentionally partial: an operator they
+do not register runs on the counted ``numpy`` fallback.  Which gaps are
+*intentional* is declared in :data:`INTENTIONAL_FALLBACKS`, and a
+lint-style test asserts no op falls back silently — a newly added operator
+must either implement every backend or be whitelisted there.
 
 The Algorithm-1 kernel drivers are registered by name alongside, so the
 integrator and the CLI resolve them through the registry too.
@@ -32,7 +42,30 @@ from ..patterns.codegen import BUILTIN_SPECS, compile_kernel
 from ..patterns.pattern import PatternKind
 from .registry import KernelRegistry
 
-__all__ = ["OPS", "OpSpec", "build_default_registry"]
+__all__ = [
+    "OPS",
+    "OpSpec",
+    "INTENTIONAL_FALLBACKS",
+    "build_default_registry",
+]
+
+
+#: backend -> op names that *deliberately* run on the counted ``numpy``
+#: fallback under that backend.  ``scatter``'s loop references never got a
+#: fused C sweep; ``codegen``'s declarative specs cannot express the
+#: vector-valued reconstruction, the fused C sweep, or the F1 kite gather;
+#: ``sparse`` excludes the one genuinely non-linear stencil — B1 couples
+#: each edge's own PV with every gathered neighbour multiplicatively, so no
+#: input-independent matrix computes it in a single matvec.  The registry
+#: lint test enforces that every other (op, backend) pair is registered.
+INTENTIONAL_FALLBACKS: dict[str, frozenset[str]] = {
+    "numpy": frozenset(),
+    "scatter": frozenset({"d2fdx2"}),
+    "codegen": frozenset(
+        {"velocity_reconstruction", "d2fdx2", "cell_from_vertices_kite"}
+    ),
+    "sparse": frozenset({"coriolis_edge_term"}),
+}
 
 
 @dataclass(frozen=True)
@@ -188,6 +221,14 @@ def _register_codegen(reg: KernelRegistry) -> None:
     reg.register("coriolis_edge_term", "codegen", coriolis_edge_term)
 
 
+# ------------------------------------------------------------------ sparse
+def _register_sparse(reg: KernelRegistry) -> None:
+    from .sparse import build_sparse_impls
+
+    for op, fn in build_sparse_impls().items():
+        reg.register(op, "sparse", fn)
+
+
 # ------------------------------------------------- Algorithm-1 kernel names
 def _register_kernels(reg: KernelRegistry) -> None:
     from ..swm.boundary import enforce_boundary_edge
@@ -205,11 +246,12 @@ def _register_kernels(reg: KernelRegistry) -> None:
 
 
 def build_default_registry() -> KernelRegistry:
-    """A fresh registry with all three backends and kernel names registered."""
+    """A fresh registry with all four backends and kernel names registered."""
     reg = KernelRegistry()
     meta = {spec.op: _op_meta(spec) for spec in OPS}
     _register_numpy(reg, meta)
     _register_scatter(reg)
     _register_codegen(reg)
+    _register_sparse(reg)
     _register_kernels(reg)
     return reg

@@ -11,7 +11,7 @@ the hybrid layer all resolve work through the same table instead of
 importing implementations directly (the Loop-of-stencil-reduce shape: one
 pattern abstraction, many interchangeable backends).
 
-Three backends ship by default (see :mod:`repro.engine.backends`):
+Four backends ship by default (see :mod:`repro.engine.backends`):
 
 ``numpy``
     The production gather-form operators of :mod:`repro.swm.operators`
@@ -23,6 +23,10 @@ Three backends ship by default (see :mod:`repro.engine.backends`):
     Kernels compiled from declarative :class:`~repro.patterns.codegen.
     StencilSpec` descriptions — the paper's automatic-code-generation
     future work promoted to a real execution path.
+``sparse``
+    Fixed-sparsity stencils compiled once per mesh into ``scipy.sparse``
+    CSR operators and applied as matvecs (:mod:`repro.engine.sparse`),
+    with a two-level in-memory + versioned on-disk operator cache.
 
 An operator missing from the selected backend falls back to ``numpy`` (and
 the fallback is counted in the metrics registry), so partial backends can
@@ -53,7 +57,7 @@ __all__ = [
 ]
 
 #: The backends registered by :mod:`repro.engine.backends`.
-BACKENDS: tuple[str, ...] = ("numpy", "scatter", "codegen")
+BACKENDS: tuple[str, ...] = ("numpy", "scatter", "codegen", "sparse")
 
 DEFAULT_BACKEND = "numpy"
 

@@ -110,6 +110,13 @@ def _run_share(entry, fn, backend: str, mesh, fields, table, rows, owned, n_in, 
         local[owned] = field_arr[owned]
         local[band] = field_arr[band]
         local_fields.append(local)
+    if hasattr(fn, "apply_rows"):
+        # Precompiled operators (the sparse backend) slice their CSR rows
+        # instead of computing the whole output and discarding the other
+        # device's half.  CSR matvec treats each row independently, so
+        # ``M[rows] @ x == (M @ x)[rows]`` bitwise and the stitched result
+        # keeps the unsplit-equivalence contract.
+        return np.asarray(fn.apply_rows(mesh, local_fields, rows))
     full = np.asarray(fn(mesh, *local_fields))
     return full[rows]
 

@@ -1,6 +1,13 @@
 """C-staggered SCVT mesh substrate (the horizontal mesh of Figure 1)."""
 
-from .cache import cached_mesh, cache_dir, clear_memory_cache
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    MeshFormatError,
+    cache_dir,
+    cached_mesh,
+    clear_memory_cache,
+    mesh_cache_path,
+)
 from .connectivity import FILL, Connectivity, build_connectivity
 from .mesh import MESH_FAMILY, Mesh, mesh_family_counts
 from .metrics import Metrics, build_metrics
@@ -28,4 +35,7 @@ __all__ = [
     "cached_mesh",
     "cache_dir",
     "clear_memory_cache",
+    "mesh_cache_path",
+    "CACHE_FORMAT_VERSION",
+    "MeshFormatError",
 ]

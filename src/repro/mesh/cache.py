@@ -4,6 +4,20 @@ SCVT construction is deterministic, so meshes are cached by
 ``(level, lloyd_iterations, radius)``.  The cache directory defaults to
 ``~/.cache/repro-mpas`` and can be redirected with the ``REPRO_CACHE_DIR``
 environment variable (useful on shared file systems).
+
+Cache contract
+--------------
+* Disk filenames key the radius on its full ``repr`` (shortest exact
+  round-trip), so two radii that differ by less than any rounding threshold
+  get distinct files — ``r{radius:.0f}`` style truncation used to collide
+  radii differing by < 0.5 m onto one archive.
+* Every archive carries the :data:`CACHE_FORMAT_VERSION` stamp written by
+  :meth:`~repro.mesh.mesh.Mesh.save`; a stale or unstamped file (older
+  ``Mesh`` layout) is rebuilt and overwritten, never loaded blindly.
+* The in-memory cache is keyed on ``use_disk`` too: a ``use_disk=False``
+  call always gets a mesh built (or memoized) entirely without touching the
+  disk cache, never a disk-loaded mesh memoized by an earlier
+  ``use_disk=True`` call — and vice versa.
 """
 
 from __future__ import annotations
@@ -12,11 +26,17 @@ import os
 from pathlib import Path
 
 from ..constants import EARTH_RADIUS
-from .mesh import Mesh
+from .mesh import CACHE_FORMAT_VERSION, Mesh, MeshFormatError
 
-__all__ = ["cached_mesh", "cache_dir", "clear_memory_cache"]
+__all__ = [
+    "cached_mesh",
+    "cache_dir",
+    "clear_memory_cache",
+    "CACHE_FORMAT_VERSION",
+    "MeshFormatError",
+]
 
-_MEMORY: dict[tuple[int, int, float], Mesh] = {}
+_MEMORY: dict[tuple[int, int, float, bool], Mesh] = {}
 
 
 def cache_dir() -> Path:
@@ -34,6 +54,17 @@ def clear_memory_cache() -> None:
     _MEMORY.clear()
 
 
+def mesh_cache_path(
+    level: int, lloyd_iterations: int = 4, radius: float = EARTH_RADIUS
+) -> Path:
+    """The disk-cache archive path for one ``(level, lloyd, radius)`` triple.
+
+    The radius is keyed on ``repr`` — the shortest string that round-trips
+    the exact float — so distinct radii can never share a file.
+    """
+    return cache_dir() / f"icos{level}_lloyd{lloyd_iterations}_r{radius!r}.npz"
+
+
 def cached_mesh(
     level: int,
     lloyd_iterations: int = 4,
@@ -43,20 +74,34 @@ def cached_mesh(
     """Return the SCVT mesh at ``level``, building it at most once.
 
     The in-memory cache makes repeated calls within one process free; the disk
-    cache makes them cheap across processes (test runs, benchmarks).
+    cache makes them cheap across processes (test runs, benchmarks).  See the
+    module docstring for the cache contract — in particular,
+    ``use_disk=False`` guarantees the returned mesh was never loaded from
+    (nor saved to) the disk cache, even when a ``use_disk=True`` call in the
+    same process already populated it.
     """
-    key = (level, lloyd_iterations, radius)
+    key = (level, lloyd_iterations, radius, use_disk)
     mesh = _MEMORY.get(key)
     if mesh is not None:
         return mesh
-    path = cache_dir() / f"icos{level}_lloyd{lloyd_iterations}_r{radius:.0f}.npz"
+    path = mesh_cache_path(level, lloyd_iterations, radius)
+    mesh = None
     if use_disk and path.exists():
-        mesh = Mesh.load(path)
-    else:
+        try:
+            mesh = Mesh.load(path)
+        except MeshFormatError:
+            # Written by an older Mesh layout: rebuild (and overwrite below)
+            # instead of loading a stale field set blindly.
+            mesh = None
+    if mesh is None:
         mesh = Mesh.build(level, lloyd_iterations=lloyd_iterations, radius=radius)
         if use_disk:
             tmp = path.with_suffix(".tmp.npz")
             mesh.save(tmp)
             os.replace(tmp, path)
+    if use_disk:
+        # Mark the mesh as having a persistent disk identity so dependent
+        # caches (e.g. the sparse-operator cache) may persist alongside it.
+        mesh.info.setdefault("disk_cached", True)
     _MEMORY[key] = mesh
     return mesh

@@ -21,7 +21,24 @@ from .metrics import Metrics, build_metrics
 from .trisk import TriskWeights, build_trisk_weights
 from .voronoi import extract_voronoi
 
-__all__ = ["Mesh", "MESH_FAMILY", "mesh_family_counts"]
+__all__ = [
+    "Mesh",
+    "MESH_FAMILY",
+    "mesh_family_counts",
+    "CACHE_FORMAT_VERSION",
+    "MeshFormatError",
+]
+
+#: Format version of the ``.npz`` archives written by :meth:`Mesh.save`.
+#: Bump whenever the saved field set or layout changes; :meth:`Mesh.load`
+#: refuses archives with a different (or missing) stamp, and
+#: :func:`repro.mesh.cache.cached_mesh` rebuilds instead of loading them.
+#: Version 1 is the retroactive name for the unstamped seed layout.
+CACHE_FORMAT_VERSION = 2
+
+
+class MeshFormatError(RuntimeError):
+    """A saved mesh archive has a missing or incompatible format version."""
 
 #: The paper's quasi-uniform mesh family (Table III): nominal resolution name
 #: -> icosahedral subdivision level.  ``10 * 4**level + 2`` cells each.
@@ -170,6 +187,7 @@ class Mesh:
         conn, met, tri = self.connectivity, self.metrics, self.trisk
         np.savez_compressed(
             Path(path),
+            format_version=np.array(CACHE_FORMAT_VERSION),
             name=np.array(self.name),
             radius=np.array(met.radius),
             nEdgesOnCell=conn.nEdgesOnCell,
@@ -200,10 +218,31 @@ class Mesh:
 
     @classmethod
     def load(cls, path: str | Path) -> "Mesh":
-        """Load a mesh previously written by :meth:`save`."""
+        """Load a mesh previously written by :meth:`save`.
+
+        Raises :class:`MeshFormatError` when the archive carries no
+        ``format_version`` stamp (written by a pre-versioning layout) or a
+        stamp other than :data:`CACHE_FORMAT_VERSION` — loading such a file
+        blindly would crash on a missing field at best and silently corrupt
+        downstream numerics at worst.  Callers holding a cache (see
+        :func:`repro.mesh.cache.cached_mesh`) should catch it and rebuild.
+        """
         from ..geometry.sphere import xyz_to_lonlat
 
         with np.load(Path(path)) as d:
+            if "format_version" not in d.files:
+                raise MeshFormatError(
+                    f"{path} carries no mesh format-version stamp (written "
+                    f"by a pre-version Mesh layout); rebuild it with "
+                    f"Mesh.save"
+                )
+            found = int(d["format_version"])
+            if found != CACHE_FORMAT_VERSION:
+                raise MeshFormatError(
+                    f"{path} has mesh format version {found}, this build "
+                    f"reads version {CACHE_FORMAT_VERSION}; rebuild it with "
+                    f"Mesh.save"
+                )
             conn = Connectivity(
                 n_cells=int(d["nEdgesOnCell"].shape[0]),
                 n_edges=int(d["cellsOnEdge"].shape[0]),

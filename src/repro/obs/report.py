@@ -471,7 +471,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--overhead", action="store_true",
                         help="measure tracing overhead (traced/untraced ratio)")
     parser.add_argument("--backend", default="numpy",
-                        help="engine execution backend (numpy/scatter/codegen)")
+                        help="engine execution backend "
+                             "(numpy/scatter/codegen/sparse)")
     parser.add_argument("--compare-backends", action="store_true",
                         help="run under every backend and print the "
                              "per-backend per-pattern dispatch costs")

@@ -44,8 +44,8 @@ class SWConfig:
         forced to zero every substage.
     backend : str
         Execution backend for the stencil operators (``"numpy"``,
-        ``"scatter"`` or ``"codegen"``); every kernel dispatches through the
-        :mod:`repro.engine` registry under this name.
+        ``"scatter"``, ``"codegen"`` or ``"sparse"``); every kernel
+        dispatches through the :mod:`repro.engine` registry under this name.
     parallel : str
         Execution mode of the run (dispatched by :func:`repro.api.run`):
         ``"serial"`` integrates in-process; ``"lockstep"`` steps ``ranks``

@@ -28,7 +28,7 @@ class KernelProfile:
     """Accumulated wall time per kernel, in seconds.
 
     ``by_backend`` additionally buckets the same times per execution backend
-    (``"numpy"`` / ``"scatter"`` / ``"codegen"``) when the spans carry the
+    (``"numpy"`` / ``"scatter"`` / ``"codegen"`` / ``"sparse"``) when the spans carry the
     engine's ``backend`` tag; callers that predate the engine see the exact
     ``seconds``/``steps`` accumulator they always did.
     """

@@ -31,6 +31,33 @@ class TestRegistry:
         reg = default_registry()
         assert reg.backends() == sorted(BACKENDS)
 
+    def test_no_silent_fallbacks(self):
+        """Registry-completeness lint: every op implements every backend,
+        or the gap is declared in INTENTIONAL_FALLBACKS.
+
+        A new operator registered for ``numpy`` only would silently run the
+        fallback under ``--backend sparse`` (or any other backend); this
+        test makes that a visible decision — implement it or whitelist it.
+        """
+        from repro.engine.backends import INTENTIONAL_FALLBACKS
+
+        reg = default_registry()
+        assert set(INTENTIONAL_FALLBACKS) == set(BACKENDS)
+        for backend in BACKENDS:
+            whitelisted = INTENTIONAL_FALLBACKS[backend]
+            missing = {
+                op for op in reg.ops() if backend not in reg.op(op).impls
+            }
+            assert missing == set(whitelisted), (
+                f"backend {backend!r}: ops falling back to numpy without "
+                f"being whitelisted in INTENTIONAL_FALLBACKS: "
+                f"{sorted(missing - whitelisted)}; stale whitelist entries: "
+                f"{sorted(whitelisted - missing)}"
+            )
+        # The whitelist names real operators only (guards against typos).
+        for backend, ops in INTENTIONAL_FALLBACKS.items():
+            assert ops <= set(reg.ops()), (backend, ops)
+
     def test_duplicate_registration_rejected(self):
         reg = KernelRegistry()
         reg.register("foo", "numpy", lambda mesh, x: x, pattern="A1")

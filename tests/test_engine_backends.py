@@ -1,4 +1,4 @@
-"""Backend equivalence: numpy / scatter / codegen agree on every operator.
+"""Backend equivalence: numpy / scatter / codegen / sparse agree on every operator.
 
 The refactor's correctness contract: selecting a backend changes *how* a
 pattern executes, never *what* it computes.  Gather vs scatter reassociates
@@ -77,7 +77,7 @@ class TestOperatorEquivalence:
         results = {
             b: _as_arrays(dispatch(op, mesh3, *fields, backend=b)) for b in BACKENDS
         }
-        for backend in ("scatter", "codegen"):
+        for backend in ("scatter", "codegen", "sparse"):
             for got, want in zip(results[backend], results["numpy"]):
                 np.testing.assert_allclose(got, want, rtol=RTOL, atol=1e-14, err_msg=f"{op} under {backend}")
 
@@ -88,7 +88,7 @@ class TestOperatorEquivalence:
             b: _as_arrays(dispatch(op, scvt_mesh, *fields, backend=b))
             for b in BACKENDS
         }
-        for backend in ("scatter", "codegen"):
+        for backend in ("scatter", "codegen", "sparse"):
             for got, want in zip(results[backend], results["numpy"]):
                 np.testing.assert_allclose(got, want, rtol=RTOL, atol=1e-14, err_msg=f"{op} under {backend}")
 

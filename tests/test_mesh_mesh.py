@@ -6,11 +6,14 @@ import numpy as np
 import pytest
 
 from repro.mesh import (
+    CACHE_FORMAT_VERSION,
     MESH_FAMILY,
     Mesh,
+    MeshFormatError,
     assess_quality,
     cached_mesh,
     clear_memory_cache,
+    mesh_cache_path,
     mesh_family_counts,
 )
 
@@ -117,6 +120,91 @@ class TestCache:
         b = cached_mesh(2, lloyd_iterations=1)  # from disk this time
         assert a is not b
         assert np.array_equal(a.metrics.areaCell, b.metrics.areaCell)
+        clear_memory_cache()
+
+    def test_radius_collision_regression(self, tmp_path, monkeypatch):
+        """Radii differing by less than 0.5 m must not share a cache file.
+
+        The filename used to key the radius on ``f"{radius:.0f}"``, so two
+        sub-metre-distinct radii collided onto one archive and the second
+        ``cached_mesh`` call silently returned the first radius's mesh.
+        """
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        r1 = 6_371_220.0
+        r2 = r1 + 0.25  # would format to the same "6371220" under :.0f
+        assert mesh_cache_path(2, 0, r1) != mesh_cache_path(2, 0, r2)
+        a = cached_mesh(2, lloyd_iterations=0, radius=r1)
+        b = cached_mesh(2, lloyd_iterations=0, radius=r2)
+        assert a.radius == r1 and b.radius == r2
+        clear_memory_cache()
+        # Reload both from disk: each must come back with its own radius.
+        assert cached_mesh(2, lloyd_iterations=0, radius=r1).radius == r1
+        assert cached_mesh(2, lloyd_iterations=0, radius=r2).radius == r2
+        clear_memory_cache()
+
+    def test_version_stamp_regression(self, tmp_path, monkeypatch):
+        """Unstamped or wrongly-stamped archives are rebuilt, never loaded.
+
+        Pre-versioning cache files carried no ``format_version``; a layout
+        refactor then loaded them blindly (crash on a missing field at
+        best, silently wrong numerics at worst).
+        """
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        good = cached_mesh(2, lloyd_iterations=0)
+        path = mesh_cache_path(2, 0)
+        assert path.exists()
+        with np.load(path) as d:
+            assert int(d["format_version"]) == CACHE_FORMAT_VERSION
+            fields = dict(d)
+
+        # An unstamped (pre-versioning) archive: Mesh.load must refuse it...
+        del fields["format_version"]
+        np.savez_compressed(path, **fields)
+        with pytest.raises(MeshFormatError, match="no mesh format-version"):
+            Mesh.load(path)
+        # ...and cached_mesh must rebuild + restamp instead of loading.
+        clear_memory_cache()
+        rebuilt = cached_mesh(2, lloyd_iterations=0)
+        assert np.array_equal(rebuilt.metrics.areaCell, good.metrics.areaCell)
+        with np.load(path) as d:
+            assert int(d["format_version"]) == CACHE_FORMAT_VERSION
+
+        # A future/foreign stamp is refused just the same.
+        fields["format_version"] = np.array(CACHE_FORMAT_VERSION + 1)
+        np.savez_compressed(path, **fields)
+        with pytest.raises(MeshFormatError, match="format version"):
+            Mesh.load(path)
+        clear_memory_cache()
+        cached_mesh(2, lloyd_iterations=0)
+        with np.load(path) as d:
+            assert int(d["format_version"]) == CACHE_FORMAT_VERSION
+        clear_memory_cache()
+
+    def test_use_disk_false_never_shares_disk_meshes(self, tmp_path, monkeypatch):
+        """``use_disk=False`` must bypass the disk cache *and* its memoizations.
+
+        The memory cache used to be keyed without ``use_disk``, so a
+        disk-loaded mesh could be handed to a caller that explicitly asked
+        to bypass the disk cache.
+        """
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        disk = cached_mesh(2, lloyd_iterations=0, use_disk=True)
+        nodisk = cached_mesh(2, lloyd_iterations=0, use_disk=False)
+        assert disk is not nodisk
+        assert disk.info.get("disk_cached") is True
+        assert "disk_cached" not in nodisk.info
+        # Each flavour memoizes under its own key.
+        assert cached_mesh(2, lloyd_iterations=0, use_disk=True) is disk
+        assert cached_mesh(2, lloyd_iterations=0, use_disk=False) is nodisk
+        # A pure use_disk=False session writes nothing to disk.
+        clear_memory_cache()
+        path = mesh_cache_path(2, 0)
+        path.unlink()
+        cached_mesh(2, lloyd_iterations=0, use_disk=False)
+        assert not path.exists()
         clear_memory_cache()
 
 

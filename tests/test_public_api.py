@@ -103,7 +103,7 @@ class TestRunDispatch:
         with pytest.raises(ValueError, match="parallel='serial'"):
             api.run("tc2", mesh=mesh3, config=cfg, steps=1, invariant_interval=5)
 
-    @pytest.mark.parametrize("backend", ["numpy", "codegen"])
+    @pytest.mark.parametrize("backend", ["numpy", "codegen", "sparse"])
     def test_galewsky_pool_bitwise_equals_serial(self, mesh3, backend):
         """The headline contract: 10 steps, 4 ranks, owned state bitwise."""
         case = api.resolve_case("galewsky")
