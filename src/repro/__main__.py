@@ -42,11 +42,15 @@ def _cmd_run(args: argparse.Namespace) -> None:
         raise SystemExit(str(exc)) from None
     mesh = build_mesh(args.level)
     dt = suggested_dt(mesh, case, GRAVITY, cfl=args.cfl)
+    # --plan implies the sparse backend (plans fuse its CSR operators);
+    # an explicit contradictory --backend is rejected by SWConfig.validate.
+    backend = args.backend or ("sparse" if args.plan else "numpy")
     config = SWConfig(
         dt=dt,
         thickness_adv_order=args.order,
         advection_only=(case.number == 1),
-        backend=args.backend,
+        backend=backend,
+        plan=args.plan,
         parallel=args.parallel,
         ranks=args.ranks,
     )
@@ -56,7 +60,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
     print(
         f"TC{case.number} ({case.name}): {result.steps} steps of {dt:.0f} s "
         f"on {mesh.nCells} cells "
-        f"[{config.parallel}, ranks={config.ranks}, backend={config.backend}]"
+        f"[{config.parallel}, ranks={config.ranks}, "
+        f"backend={config.backend}{'+plan' if config.plan else ''}]"
     )
     print(f"  simulated time = {result.elapsed_seconds:.0f} s")
     print(f"  mass drift   = {result.mass_drift():.2e}")
@@ -158,8 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cfl", type=float, default=0.6)
     p.add_argument("--order", type=int, default=2, choices=(2, 3, 4))
     p.add_argument(
-        "--backend", default="numpy",
-        help="engine execution backend (numpy/scatter/codegen/sparse)",
+        "--backend", default=None,
+        help="engine execution backend (numpy/scatter/codegen/sparse); "
+        "defaults to numpy, or sparse under --plan",
+    )
+    p.add_argument(
+        "--plan", action="store_true",
+        help="execute substeps through fused per-mesh execution plans "
+        "(implies --backend sparse)",
     )
     p.add_argument(
         "--parallel", default="serial", choices=("serial", "lockstep", "pool")

@@ -30,6 +30,7 @@ behaviour, only a front door.
 
 from __future__ import annotations
 
+from .engine.plan import ExecutionPlan, compiled_plan
 from .mesh.cache import cached_mesh
 from .mesh.mesh import Mesh
 from .swm.config import SWConfig
@@ -41,6 +42,8 @@ from .swm.testcases import TEST_CASES, TestCase
 
 __all__ = [
     "SWConfig",
+    "ExecutionPlan",
+    "compiled_plan",
     "TestCase",
     "RunResult",
     "State",

@@ -9,8 +9,22 @@ from .analysis import (
 )
 from .build import build_stage_graph, build_step_graph, stage_kernels
 from .graph import HALO_NODE_PREFIX, SOURCE_PREFIX, DataFlowGraph
+from .schedule import (
+    Segment,
+    SubstepSchedule,
+    schedule_substep,
+    single_consumer_vars,
+    topological_order,
+    variable_liveness,
+)
 
 __all__ = [
+    "Segment",
+    "SubstepSchedule",
+    "schedule_substep",
+    "single_consumer_vars",
+    "topological_order",
+    "variable_liveness",
     "concurrency_profile",
     "critical_path",
     "independent_sets",

@@ -129,6 +129,11 @@ class DataFlowGraph:
         by kernel occurrence; halo exchanges are red octagons; edges carry
         the flowing variable.  Feed the output to ``dot -Tsvg`` to regenerate
         a Figure 4-style picture.
+
+        Emission is fully sorted (clusters, nodes within each cluster, halo
+        and source nodes, edges), so the same graph always renders to the
+        same bytes — the committed benchmark artifact is diffable across
+        runs.
         """
         lines = [
             "digraph dataflow {",
@@ -140,28 +145,30 @@ class DataFlowGraph:
             inst = self.instance(node)
             stage = node.split(":", 1)[0] if ":" in node else ""
             clusters.setdefault(f"{stage}:{inst.kernel}", []).append(node)
-        for ci, (label, nodes) in enumerate(clusters.items()):
+        for ci, (label, nodes) in enumerate(sorted(clusters.items())):
             lines.append(f"  subgraph cluster_{ci} {{")
             lines.append(f'    label="{label}"; style=rounded; color=gray;')
-            for node in nodes:
+            for node in sorted(nodes):
                 inst = self.instance(node)
                 shape = "box" if inst.is_local else "ellipse"
                 lines.append(
                     f'    "{node}" [label="{inst.label}", shape={shape}];'
                 )
             lines.append("  }")
-        for node in self.halo_nodes():
+        for node in sorted(self.halo_nodes()):
             lines.append(
                 f'  "{node}" [label="Exchange halo", shape=octagon, color=red];'
             )
         if include_sources:
-            for n, d in self.graph.nodes(data=True):
+            for n, d in sorted(self.graph.nodes(data=True)):
                 if d["kind"] == "source":
                     lines.append(f'  "{n}" [label="{d["variable"]}", shape=plaintext];')
+        edges = []
         for a, b, data in self.graph.edges(data=True):
             if not include_sources and self.graph.nodes[a]["kind"] == "source":
                 continue
-            var = data.get("variable", "")
+            edges.append((a, b, data.get("variable", "")))
+        for a, b, var in sorted(edges):
             lines.append(f'  "{a}" -> "{b}" [label="{var}", fontsize=8];')
         lines.append("}")
         return "\n".join(lines)

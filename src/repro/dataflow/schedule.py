@@ -1,0 +1,190 @@
+"""Compiling the Fig. 4 diagram into an executable substep schedule.
+
+The data-flow diagram (:mod:`repro.dataflow.graph`) says *what depends on
+what*; this module turns one RK substage of it into the form an execution
+plan needs (:mod:`repro.engine.plan`):
+
+* a **topological order** — the graph's own program order, verified to be a
+  valid linearization of the dependency DAG;
+* **halo segmentation** — the red exchange nodes of Fig. 4 are barriers a
+  fused program must not cross (a decomposed rank cannot read a neighbour's
+  provisional state before the exchange ran), so compute nodes are grouped
+  into segments by the set of exchanges they transitively depend on;
+* **liveness** — the definition point and last use of every variable, the
+  input for scratch-buffer reuse;
+* **single-consumer variables** — intermediates read by exactly one
+  downstream instance and never escaping the substep.  These are the only
+  edges across which two linear operators may legally be composed into one
+  matrix (the plan compiler's fusion-legality oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..swm.config import SWConfig
+from .build import build_stage_graph
+from .graph import DataFlowGraph
+
+__all__ = [
+    "Segment",
+    "SubstepSchedule",
+    "schedule_substep",
+    "topological_order",
+    "variable_liveness",
+    "single_consumer_vars",
+]
+
+
+def topological_order(dfg: DataFlowGraph) -> list[str]:
+    """The compute nodes in program order, verified topological.
+
+    Program order (the order :meth:`DataFlowGraph.add_instance` appended
+    nodes) must already linearize the dependency DAG — construction wires
+    every read to the most recent producer, so a violation means the graph
+    builder and the implementation disagree about Algorithm 1.
+    """
+    position = {node: i for i, node in enumerate(dfg.order)}
+    for a, b in dfg.graph.edges():
+        if a in position and b in position and position[a] >= position[b]:
+            raise ValueError(
+                f"program order is not topological: {a!r} -> {b!r} goes backwards"
+            )
+    return list(dfg.order)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal run of compute nodes sharing the same halo dependencies.
+
+    ``barriers`` are the halo-exchange nodes every member transitively
+    depends on; a fused program may reorder or compose freely *within* a
+    segment but must yield to the runtime (which performs the exchanges)
+    *between* segments.
+    """
+
+    barriers: tuple[str, ...]
+    nodes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SubstepSchedule:
+    """One RK substage scheduled for fused execution."""
+
+    stage: int
+    graph: DataFlowGraph
+    segments: tuple[Segment, ...]
+
+    def nodes(self) -> list[str]:
+        return [n for seg in self.segments for n in seg.nodes]
+
+    def nodes_for_kernel(self, kernel: str) -> list[str]:
+        """Scheduled nodes belonging to one Algorithm-1 kernel, in order."""
+        return [
+            n for n in self.nodes() if self.graph.instance(n).kernel == kernel
+        ]
+
+    def labels(self) -> list[str]:
+        return [self.graph.instance(n).label for n in self.nodes()]
+
+
+def _halo_ancestors(dfg: DataFlowGraph, node: str) -> tuple[str, ...]:
+    halos = [
+        a for a in nx.ancestors(dfg.graph, node)
+        if dfg.graph.nodes[a]["kind"] == "halo"
+    ]
+    return tuple(sorted(halos))
+
+
+def schedule_substep(
+    config: SWConfig | None = None,
+    stage: int = 1,
+    with_halo: bool = True,
+) -> SubstepSchedule:
+    """Schedule one RK substage of the Fig. 4 diagram.
+
+    Nodes keep program order; segments are emitted in order of first
+    appearance, so the schedule executes exactly the sequence Algorithm 1
+    does, with explicit barrier points where the halo exchanges sit.
+    """
+    dfg = build_stage_graph(config, stage=stage, with_halo=with_halo)
+    order = topological_order(dfg)
+    segments: list[tuple[tuple[str, ...], list[str]]] = []
+    by_barriers: dict[tuple[str, ...], list[str]] = {}
+    for node in order:
+        barriers = _halo_ancestors(dfg, node)
+        nodes = by_barriers.get(barriers)
+        if nodes is None:
+            nodes = []
+            by_barriers[barriers] = nodes
+            segments.append((barriers, nodes))
+        nodes.append(node)
+    return SubstepSchedule(
+        stage=stage,
+        graph=dfg,
+        segments=tuple(
+            Segment(barriers=b, nodes=tuple(nodes)) for b, nodes in segments
+        ),
+    )
+
+
+def variable_liveness(dfg: DataFlowGraph) -> dict[str, tuple[str | None, str]]:
+    """``variable -> (producer, last consumer)`` over the compute nodes.
+
+    ``producer`` is ``None`` for stage inputs (source-node variables).  A
+    variable produced but never read again within the substep is its own
+    last consumer — it is a kernel output and must survive the segment.
+    """
+    position = {node: i for i, node in enumerate(dfg.order)}
+    live: dict[str, tuple[str | None, str]] = {}
+    for a, b, data in dfg.graph.edges(data=True):
+        var = data.get("variable")
+        if var is None or b not in position:
+            continue
+        producer = a if a in position else None
+        prev = live.get(var)
+        if prev is None or position[b] > position.get(prev[1], -1):
+            live[var] = (producer if producer is not None else (prev[0] if prev else None), b)
+        elif producer is not None and prev[0] is None:
+            live[var] = (producer, prev[1])
+    for node in dfg.order:
+        for var in dfg.instance(node).outputs:
+            if var not in live:
+                live[var] = (node, node)
+    return live
+
+
+def single_consumer_vars(
+    dfg: DataFlowGraph, protected: frozenset[str] = frozenset()
+) -> set[str]:
+    """Variables read by exactly one compute node and not re-exported.
+
+    These intermediates are the only legal fusion seams: composing the
+    producer's matrix into the consumer is unobservable because nothing
+    else ever reads the intermediate.  ``protected`` names variables the
+    *caller* observes even though the graph shows no further reads (the
+    kernel outputs — every Diagnostics field, the tendencies); they are
+    never fusion seams, because eliminating them would change the kernel's
+    visible result set.
+    """
+    consumers: dict[str, set[str]] = {}
+    compute = set(dfg.order)
+    for a, b, data in dfg.graph.edges(data=True):
+        var = data.get("variable")
+        if var is None:
+            continue
+        if b in compute:
+            consumers.setdefault(var, set()).add(b)
+        else:
+            # Read by a halo exchange: escapes the fused program.
+            consumers.setdefault(var, set()).add(f"!{b}")
+    produced = {v for n in dfg.order for v in dfg.instance(n).outputs}
+    out: set[str] = set()
+    for var, readers in consumers.items():
+        if var not in produced or var in protected:
+            continue
+        if len(readers) == 1 and not next(iter(readers)).startswith("!"):
+            out.add(var)
+    return out

@@ -2,11 +2,14 @@
 
 The one way kernels execute.  See :mod:`repro.engine.registry` for the
 dispatch mechanics, :mod:`repro.engine.backends` for the four built-in
-backends (``numpy`` / ``scatter`` / ``codegen`` / ``sparse``), and
-:mod:`repro.engine.split` for split execution across two logical devices.
+backends (``numpy`` / ``scatter`` / ``codegen`` / ``sparse``),
+:mod:`repro.engine.split` for split execution across two logical devices,
+and :mod:`repro.engine.plan` for fused per-mesh execution plans compiled
+from the Fig. 4 dataflow graph (``SWConfig(plan=True)``).
 
 Importing this package is deliberately light (no backend modules are
-loaded); the default registry is built lazily on first dispatch.  Run
+loaded, and ``plan``/``sparse`` — which pull scipy — are imported lazily);
+the default registry is built lazily on first dispatch.  Run
 ``python -m repro.engine --selftest`` for an end-to-end smoke check.
 """
 

@@ -1,0 +1,1033 @@
+"""Fused per-mesh execution plans compiled from the Fig. 4 dataflow graph.
+
+PR 5 made every linear stencil a precompiled CSR matvec, but the RK loop
+still walks the 14 operators one dispatch at a time: each call pays the
+registry lookup, the placement probe, a metrics timer, a fault site and a
+fresh output allocation.  This module removes all of that for
+``backend="sparse"``: :func:`compile_plan` topologically schedules an RK
+substep from the data-flow diagram (:mod:`repro.dataflow.schedule`) and
+emits one :class:`ExecutionPlan` per ``(mesh, config)`` — a flat list of
+closures over the cached CSR operators and preallocated scratch buffers,
+with the one genuinely non-linear stencil (``coriolis_edge_term``) spliced
+in as a planned stage instead of a per-dispatch fallback branch.
+
+Two fusion modes
+----------------
+``plan_fuse="exact"`` (the default)
+    Executes *exactly* the floating-point expressions of the unfused
+    sparse backend — same matvecs against the same lane-ordered CSR
+    matrices, same elementwise ufunc sequence — only without the
+    per-dispatch overhead, and writing into reused scratch buffers
+    (``out=``, which does not change a ufunc's arithmetic).  The result is
+    **bitwise identical** to the unfused sparse backend in serial,
+    lockstep, pool and split execution.
+``plan_fuse="algebraic"``
+    Additionally composes chains of linear operators into single matrices
+    (e.g. the 4th-order ``h_edge`` operator, the del4 hyperviscosity
+    chain).  Matrix composition reassociates the row sums, so this mode is
+    mathematically equivalent but *not* bitwise identical; the test suite
+    bounds it at ~1e-12 relative.  Composition is only legal across
+    *single-consumer* intermediates (the scheduler's fusion-legality
+    oracle) that no caller observes; the order-3 upwinded correction can
+    never compose because its ``sign(u)`` coefficients depend on the
+    input.
+
+Caching
+-------
+Plans are memoized per mesh in a ``WeakKeyDictionary`` keyed by the
+structure-affecting config fields (:func:`plan_key`).  The CSR operators a
+plan closes over come from the PR 5 two-level operator cache
+(:func:`repro.engine.sparse.sparse_operator`: memory + versioned ``.npz``
+on disk); matrices *composed* by the algebraic mode reuse the same
+two-level mechanics under ``cache_dir()/operators/`` with
+:data:`PLAN_CACHE_VERSION` stamped alongside the operator format version —
+a version bump or mesh edit invalidates them exactly like PR 5 operators.
+
+Execution semantics
+-------------------
+The plan exposes one entry point per Algorithm-1 kernel it fuses
+(:meth:`ExecutionPlan.tend`, :meth:`~ExecutionPlan.diagnostics`,
+:meth:`~ExecutionPlan.reconstruct`) rather than one whole-substep program:
+the halo exchanges of Fig. 4 are barriers between those segments
+(:class:`repro.dataflow.schedule.Segment`), and the decomposed executors
+must run them.  When split placements are active
+(:func:`repro.engine.split.use_placements`), any stage whose Table I label
+is split-placed routes through the registry dispatch — preserving the
+band-reconciliation semantics and metrics — which stays bitwise identical
+because CSR row-slicing commutes with the matvec.  When the tracer is
+enabled, every stage runs under a ``category="plan"`` span.
+
+Buffer discipline: the two tendency outputs live in plan-owned buffers
+reused across calls (safe: every consumer reads them before the next
+``tend`` call, and ``enforce_boundary_edge`` mutating them in place is the
+contract); Diagnostics and Reconstruction outputs are freshly allocated
+per call because callers retain them (run results, watchdogs, rollback
+checkpoints).  A plan is not re-entrant across threads.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..mesh.cache import cache_dir
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+from .sparse import (
+    OPERATOR_CACHE_VERSION,
+    SPARSE_FALLBACK_OPS,
+    mesh_fingerprint,
+    sparse_operator,
+)
+from .split import active_placement, placements_active
+
+__all__ = [
+    "PLAN_CACHE_VERSION",
+    "PLAN_FUSE_MODES",
+    "PLAN_FALLBACK_OPS",
+    "PLANNED_OPS",
+    "PLAN_LOCAL_LABELS",
+    "ExecutionPlan",
+    "PlanStage",
+    "plan_key",
+    "compile_plan",
+    "compiled_plan",
+    "clear_plan_memory_cache",
+    "plan_cache_path",
+    "unplanned_labels",
+]
+
+#: Format version of compiled-plan disk artifacts (the composed matrices).
+#: Bump whenever the plan compiler's emitted algebra changes; stale files
+#: are recompiled and overwritten, never loaded blindly.
+PLAN_CACHE_VERSION = 1
+
+#: Accepted values of ``SWConfig.plan_fuse``.
+PLAN_FUSE_MODES = ("exact", "algebraic")
+
+#: Ops the plan splices in as planned non-linear stages (same set the
+#: sparse backend leaves on the counted numpy fallback).
+PLAN_FALLBACK_OPS = SPARSE_FALLBACK_OPS
+
+#: Registry ops the plan compiler consumes into fused stages.  Together
+#: with :data:`PLAN_FALLBACK_OPS` this must cover the whole registry — the
+#: lint test asserts it, so a newly registered operator must either gain a
+#: plan emitter or be whitelisted as a planned fallback.
+PLANNED_OPS = frozenset(
+    {
+        "flux_divergence",
+        "kinetic_energy",
+        "cell_divergence",
+        "velocity_reconstruction",
+        "tangential_velocity",
+        "d2fdx2",
+        "cell_to_edge_mean",
+        "vertex_from_cells_kite",
+        "cell_from_vertices_kite",
+        "vertex_to_edge_mean",
+        "vertex_curl",
+        "edge_gradient_of_cell",
+        "edge_gradient_of_vertex",
+    }
+)
+
+#: Table I labels that are integrator-local state updates (X patterns):
+#: they live in :mod:`repro.swm.timestep` / ``boundary`` and are not part
+#: of a fused kernel program.
+PLAN_LOCAL_LABELS = frozenset({"X1", "X2", "X3", "X4", "X5"})
+
+#: Kernel outputs the caller observes; never legal fusion seams.
+_PROTECTED_VARS = frozenset(
+    {
+        "tend_h",
+        "tend_u",
+        "h_edge",
+        "ke",
+        "vorticity",
+        "divergence",
+        "v",
+        "h_vertex",
+        "pv_vertex",
+        "pv_cell",
+        "pv_edge",
+    }
+)
+
+_UNSTABLE_MSG = (
+    "non-positive h_vertex: the simulation has gone unstable "
+    "(reduce dt or check the initial condition)"
+)
+
+
+# ------------------------------------------------------------ fast matvec
+def _probe_csr_matvec():
+    """scipy's raw ``csr_matvec`` kernel, verified bitwise against ``M @ x``.
+
+    ``M @ x`` allocates a zero vector and accumulates into it with exactly
+    this kernel, so zeroing a reused buffer and calling it directly is
+    bitwise identical while skipping the per-call allocation.  Any scipy
+    that does not expose (or changes) the kernel falls back to ``M @ x``.
+    """
+    try:
+        from scipy.sparse import _sparsetools
+
+        fn = _sparsetools.csr_matvec
+    except (ImportError, AttributeError):  # pragma: no cover - scipy variant
+        return None
+    m = sp.csr_matrix(np.arange(12.0).reshape(3, 4) / 7.0)
+    x = np.linspace(-1.0, 1.0, 4)
+    out = np.zeros(3)
+    try:
+        fn(3, 4, m.indptr, m.indices, m.data, x, out)
+    except Exception:  # pragma: no cover - scipy variant
+        return None
+    if not np.array_equal(out, m @ x):  # pragma: no cover - scipy variant
+        return None
+    return fn
+
+
+_CSR_MATVEC = _probe_csr_matvec()
+
+
+def _matvec(m: sp.csr_matrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out[:] = m @ x`` into a preallocated buffer, bitwise-identical."""
+    if _CSR_MATVEC is None or not x.flags.c_contiguous:
+        out[:] = m @ x
+        return out
+    out.fill(0.0)
+    _CSR_MATVEC(m.shape[0], m.shape[1], m.indptr, m.indices, m.data, x, out)
+    return out
+
+
+# ------------------------------------------------------------- plan stages
+class PlanStage:
+    """One step of a fused program: a fast closure + optional dispatch route.
+
+    ``fast(ctx)`` is the zero-dispatch path.  ``routed(ctx)`` (when set)
+    re-enters :meth:`KernelRegistry.dispatch` for the stage's operator; the
+    executor takes it only when a *split* placement is active for
+    ``pattern``, so split semantics (band reconciliation, metrics) are
+    preserved under plans.
+    """
+
+    __slots__ = ("name", "kind", "op", "pattern", "fast", "routed")
+
+    def __init__(
+        self,
+        name: str,
+        fast: Callable,
+        kind: str = "elementwise",
+        op: str | None = None,
+        pattern: str | None = None,
+        routed: Callable | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.op = op
+        self.pattern = pattern
+        self.fast = fast
+        self.routed = routed
+
+
+def _split_routed(stage: PlanStage) -> bool:
+    if stage.routed is None or stage.pattern is None:
+        return False
+    p = active_placement(stage.pattern)
+    return p is not None and getattr(p, "device", None) == "split"
+
+
+# ---------------------------------------------------------- composed cache
+_COMPOSED_MEM: "weakref.WeakKeyDictionary[object, dict[str, sp.csr_matrix]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def plan_cache_path(mesh, name: str) -> Path:
+    """On-disk archive for one composed plan matrix (versioned ``.npz``)."""
+    root = cache_dir() / "operators"
+    root.mkdir(parents=True, exist_ok=True)
+    return root / f"{mesh_fingerprint(mesh)}_plan_{name}.npz"
+
+
+def _load_composed(path: Path, fingerprint: str) -> sp.csr_matrix | None:
+    try:
+        with np.load(path) as d:
+            if "format_version" not in d.files or "plan_version" not in d.files:
+                return None
+            if int(d["format_version"]) != OPERATOR_CACHE_VERSION:
+                return None
+            if int(d["plan_version"]) != PLAN_CACHE_VERSION:
+                return None
+            if str(d["fingerprint"]) != fingerprint:
+                return None
+            return sp.csr_matrix(
+                (d["data"], d["indices"], d["indptr"]), shape=tuple(d["shape"])
+            )
+    except (OSError, KeyError, ValueError):
+        return None
+
+
+def _save_composed(path: Path, fingerprint: str, m: sp.csr_matrix) -> None:
+    tmp = path.with_suffix(".tmp.npz")
+    np.savez_compressed(
+        tmp,
+        format_version=np.array(OPERATOR_CACHE_VERSION),
+        plan_version=np.array(PLAN_CACHE_VERSION),
+        fingerprint=np.array(fingerprint),
+        data=m.data,
+        indices=m.indices,
+        indptr=m.indptr,
+        shape=np.array(m.shape),
+    )
+    os.replace(tmp, path)
+
+
+def _composed_operator(mesh, name: str, build: Callable[[], sp.csr_matrix]):
+    """Two-level (memory + versioned disk) cache for a composed matrix.
+
+    Mirrors :func:`repro.engine.sparse.sparse_operator`: disk persistence
+    only for meshes with a persistent identity (``info["disk_cached"]``);
+    rank-local and ad-hoc meshes compose into memory only.
+    """
+    ops = _COMPOSED_MEM.get(mesh)
+    if ops is None:
+        ops = {}
+        _COMPOSED_MEM[mesh] = ops
+    m = ops.get(name)
+    if m is not None:
+        return m
+    info = getattr(mesh, "info", None)
+    use_disk = bool(info.get("disk_cached")) if info is not None else False
+    path = fingerprint = None
+    if use_disk:
+        fingerprint = mesh_fingerprint(mesh)
+        path = plan_cache_path(mesh, name)
+        if path.exists():
+            m = _load_composed(path, fingerprint)
+    if m is None:
+        m = build()
+        if use_disk:
+            _save_composed(path, fingerprint, m)
+    ops[name] = m
+    return m
+
+
+# ------------------------------------------------------------ the compiler
+def plan_key(config) -> tuple:
+    """The config fields that change a compiled plan's structure or algebra."""
+    return (
+        config.backend,
+        getattr(config, "plan_fuse", "exact"),
+        bool(config.advection_only),
+        int(config.thickness_adv_order),
+        float(config.coef_3rd_order),
+        float(config.apvm_upwinding),
+        float(config.dt),
+        float(config.gravity),
+        float(config.viscosity),
+        float(config.hyperviscosity),
+    )
+
+
+def unplanned_labels(config=None) -> set[str]:
+    """Scheduled Table I labels with neither a plan emitter nor a whitelist.
+
+    Empty for the shipped model; a new catalog instance must either gain an
+    emitter in :class:`_Compiler` or join :data:`PLAN_LOCAL_LABELS`.
+    """
+    from ..dataflow.schedule import schedule_substep
+
+    handled = set(_Compiler.EMITTED_LABELS) | set(PLAN_LOCAL_LABELS)
+    labels: set[str] = set()
+    for stage in (1, 4):
+        sched = schedule_substep(config, stage=stage)
+        for node in sched.nodes():
+            labels.add(sched.graph.instance(node).label)
+    return {lab for lab in labels if lab not in handled}
+
+
+class ExecutionPlan:
+    """A compiled, fused RK-substep program for one ``(mesh, config)``."""
+
+    def __init__(
+        self,
+        mesh,
+        key: tuple,
+        fuse: str,
+        tend_stages: list[PlanStage],
+        diag_stages: list[PlanStage],
+        recon_stages: list[PlanStage],
+        buffers: dict[str, np.ndarray],
+        composed: tuple[str, ...],
+        schedule_labels: dict[str, list[str]],
+    ) -> None:
+        self._mesh = weakref.ref(mesh)
+        self.key = key
+        self.fuse = fuse
+        self._tend = tend_stages
+        self._diag = diag_stages
+        self._recon = recon_stages
+        self._buffers = buffers
+        self.composed = composed
+        self.schedule_labels = schedule_labels
+        self._n = (mesh.nCells, mesh.nEdges, mesh.nVertices)
+
+    # ------------------------------------------------------------ executor
+    def _run(self, stages: list[PlanStage], ctx: dict) -> None:
+        tracer = get_tracer()
+        routed = placements_active()
+        if tracer.enabled:
+            for st in stages:
+                fn = st.routed if (routed and _split_routed(st)) else st.fast
+                with tracer.span(
+                    st.name,
+                    category="plan",
+                    stage_kind=st.kind,
+                    op=st.op or "-",
+                    pattern=st.pattern or "-",
+                ):
+                    fn(ctx)
+        elif routed:
+            for st in stages:
+                (st.routed if _split_routed(st) else st.fast)(ctx)
+        else:
+            for st in stages:
+                st.fast(ctx)
+
+    def _ctx(self, **runtime) -> dict:
+        ctx = dict(self._buffers)
+        ctx["mesh"] = self._mesh()
+        ctx.update(runtime)
+        return ctx
+
+    # ------------------------------------------------------- kernel bodies
+    def tend(self, state, diag, b_cell) -> tuple[np.ndarray, np.ndarray]:
+        """Fused ``compute_tend``: the (A1, B1) segment of the schedule."""
+        with get_registry().timer("engine.plan", segment="tend").time():
+            ctx = self._ctx(
+                h=state.h,
+                u=state.u,
+                b=b_cell,
+                h_edge=diag.h_edge,
+                ke=diag.ke,
+                pv_edge=diag.pv_edge,
+                divergence=diag.divergence,
+                vorticity=diag.vorticity,
+            )
+            self._run(self._tend, ctx)
+            return ctx["tend_h"], ctx["tend_u"]
+
+    def diagnostics(self, state, f_vertex):
+        """Fused ``compute_solve_diagnostics``: the post-exchange segment."""
+        from ..swm.state import Diagnostics
+
+        n_cells, n_edges, n_vertices = self._n
+        with get_registry().timer("engine.plan", segment="diagnostics").time():
+            ctx = self._ctx(
+                h=state.h,
+                u=state.u,
+                f=f_vertex,
+                h_edge=np.empty(n_edges),
+                ke=np.empty(n_cells),
+                vorticity=np.empty(n_vertices),
+                divergence=np.empty(n_cells),
+                v=np.empty(n_edges),
+                h_vertex=np.empty(n_vertices),
+                pv_vertex=np.empty(n_vertices),
+                pv_cell=np.empty(n_cells),
+                pv_edge=np.empty(n_edges),
+            )
+            self._run(self._diag, ctx)
+            return Diagnostics(
+                h_edge=ctx["h_edge"],
+                ke=ctx["ke"],
+                vorticity=ctx["vorticity"],
+                divergence=ctx["divergence"],
+                v=ctx["v"],
+                h_vertex=ctx["h_vertex"],
+                pv_vertex=ctx["pv_vertex"],
+                pv_cell=ctx["pv_cell"],
+                pv_edge=ctx["pv_edge"],
+            )
+
+    def reconstruct(self, u_edge):
+        """Fused ``mpas_reconstruct``: the (A4, X6) segment of stage 4."""
+        from ..swm.state import Reconstruction
+
+        with get_registry().timer("engine.plan", segment="reconstruct").time():
+            ctx = self._ctx(u=u_edge)
+            self._run(self._recon, ctx)
+            U = ctx["U"]
+            return Reconstruction(
+                uReconstructX=U[:, 0],
+                uReconstructY=U[:, 1],
+                uReconstructZ=U[:, 2],
+                uReconstructZonal=ctx["zonal"],
+                uReconstructMeridional=ctx["meridional"],
+            )
+
+    # ------------------------------------------------------- introspection
+    def stages(self) -> dict[str, list[PlanStage]]:
+        return {
+            "tend": list(self._tend),
+            "diagnostics": list(self._diag),
+            "reconstruct": list(self._recon),
+        }
+
+    def describe(self) -> str:
+        """A deterministic, human-readable stage table (used by the docs)."""
+        lines = [f"ExecutionPlan fuse={self.fuse} composed={list(self.composed)}"]
+        for segment, stages in self.stages().items():
+            lines.append(f"{segment}:")
+            for st in stages:
+                lines.append(
+                    f"  {st.name:24s} {st.kind:11s} "
+                    f"op={st.op or '-'} pattern={st.pattern or '-'}"
+                )
+        return "\n".join(lines)
+
+
+class _Compiler:
+    """Builds the stage lists for one ``(mesh, config)`` pair.
+
+    Emitters are keyed by Table I label and walk the scheduler's node
+    order, so the fused program is exactly the dataflow diagram's
+    topological schedule.  Every closure captures matrices, buffers and
+    scalars — never the mesh or the compiler — so a cached plan does not
+    keep its (weakly referenced) mesh alive.
+    """
+
+    #: Labels this compiler can emit stages for (the lint's other half is
+    #: :data:`PLAN_LOCAL_LABELS`).
+    EMITTED_LABELS = (
+        "A1", "B1", "C1", "C2", "D1", "A2", "A3", "H1", "B2",
+        "E1", "F1", "G1", "A4", "X6",
+    )
+
+    def __init__(self, mesh, config, registry) -> None:
+        self.mesh = mesh
+        self.config = config
+        self.registry = registry
+        self.fuse = getattr(config, "plan_fuse", "exact")
+        n_cells, n_edges, n_vertices = mesh.nCells, mesh.nEdges, mesh.nVertices
+        self.buffers: dict[str, np.ndarray] = {
+            "tend_h": np.zeros(n_cells),
+            "tend_u": np.zeros(n_edges),
+        }
+        # Scratch arena, reused across steps (sized by the widest stage).
+        self._e1 = np.zeros(n_edges)
+        self._e2 = np.zeros(n_edges)
+        self._e3 = np.zeros(n_edges)
+        self._c1 = np.zeros(n_cells)
+        self._v1 = np.zeros(n_vertices)
+        if config.thickness_adv_order > 2:
+            self._d2 = np.zeros(2 * n_edges)
+        self.composed: list[str] = []
+
+    def matrix(self, name: str) -> sp.csr_matrix:
+        return sparse_operator(self.mesh, name)
+
+    def _route(self, op: str, out_key: str, *in_keys: str) -> Callable:
+        """A routed closure: registry dispatch copied into the plan buffer."""
+        reg = self.registry
+
+        def routed(ctx):
+            res = reg.dispatch(
+                op, ctx["mesh"], *(ctx[k] for k in in_keys), backend="sparse"
+            )
+            np.copyto(ctx[out_key], res)
+
+        return routed
+
+    # ----------------------------------------------------------- emitters
+    def compile_kernel(self, sched, kernel: str) -> list[PlanStage]:
+        stages: list[PlanStage] = []
+        for node in sched.nodes_for_kernel(kernel):
+            label = sched.graph.instance(node).label
+            emit = getattr(self, f"_emit_{label}".replace(",", "_"), None)
+            if emit is None:
+                raise KeyError(
+                    f"no plan emitter for Table I label {label!r} "
+                    f"(node {node!r}); add one or whitelist it"
+                )
+            stages.extend(emit(sched))
+        return stages
+
+    def _emit_A1(self, sched) -> list[PlanStage]:
+        M = self.matrix("cell_divergence")
+        e1, c1 = self._e1, self._c1
+
+        def fast(ctx):
+            np.multiply(ctx["u"], ctx["h_edge"], out=e1)
+            _matvec(M, e1, c1)
+            np.negative(c1, out=ctx["tend_h"])
+
+        reg = self.registry
+
+        def routed(ctx):
+            res = reg.dispatch(
+                "flux_divergence", ctx["mesh"], ctx["u"], ctx["h_edge"],
+                backend="sparse",
+            )
+            np.negative(res, out=ctx["tend_h"])
+
+        return [
+            PlanStage(
+                "flux_divergence", fast, kind="matvec",
+                op="flux_divergence", pattern="A1", routed=routed,
+            )
+        ]
+
+    def _emit_B1(self, sched) -> list[PlanStage]:
+        if self.config.advection_only:
+            def freeze(ctx):
+                ctx["tend_u"].fill(0.0)
+
+            return [PlanStage("freeze_u", freeze, kind="elementwise")]
+
+        stages: list[PlanStage] = []
+        reg = self.registry
+        coriolis = reg.op("coriolis_edge_term").impls["numpy"]
+
+        def cor_fast(ctx):
+            ctx["q"] = coriolis(ctx["mesh"], ctx["u"], ctx["h_edge"], ctx["pv_edge"])
+
+        def cor_routed(ctx):
+            ctx["q"] = reg.dispatch(
+                "coriolis_edge_term", ctx["mesh"], ctx["u"], ctx["h_edge"],
+                ctx["pv_edge"], backend="sparse",
+            )
+
+        stages.append(
+            PlanStage(
+                "coriolis_edge_term", cor_fast, kind="fallback",
+                op="coriolis_edge_term", pattern="B1", routed=cor_routed,
+            )
+        )
+
+        Mgc = self.matrix("edge_gradient_of_cell")
+        g = self.config.gravity
+        e1, c1 = self._e1, self._c1
+
+        def bern_fast(ctx):
+            np.add(ctx["h"], ctx["b"], out=c1)
+            np.multiply(c1, g, out=c1)
+            np.add(ctx["ke"], c1, out=c1)
+            _matvec(Mgc, c1, e1)
+            np.subtract(ctx["q"], e1, out=ctx["tend_u"])
+
+        stages.append(
+            PlanStage(
+                "bernoulli_gradient", bern_fast, kind="matvec",
+                op="edge_gradient_of_cell",
+            )
+        )
+
+        if self.config.viscosity != 0.0:
+            Mgv = self.matrix("edge_gradient_of_vertex")
+            visc = self.config.viscosity
+            e2 = self._e2
+
+            def visc_fast(ctx):
+                _matvec(Mgc, ctx["divergence"], e1)
+                _matvec(Mgv, ctx["vorticity"], e2)
+                np.subtract(e1, e2, out=e1)
+                np.multiply(e1, visc, out=e1)
+                np.add(ctx["tend_u"], e1, out=ctx["tend_u"])
+
+            stages.append(
+                PlanStage("del2_dissipation", visc_fast, kind="matvec")
+            )
+
+        if self.config.hyperviscosity != 0.0:
+            stages.append(self._hyperviscosity_stage())
+        return stages
+
+    def _hyperviscosity_stage(self) -> PlanStage:
+        Mgc = self.matrix("edge_gradient_of_cell")
+        Mgv = self.matrix("edge_gradient_of_vertex")
+        hv = self.config.hyperviscosity
+        e1, e2, e3, c1, v1 = self._e1, self._e2, self._e3, self._c1, self._v1
+        reg = self.registry
+
+        if self.fuse == "algebraic":
+            # del4 = (grad_c . div - grad_v . curl)(del2_u): four matvecs
+            # composed into one matrix.  The intermediates (div2, vort2,
+            # their gradients) are internal to the B1 pricing — nothing
+            # observes them — so the composition is legal; it is *not*
+            # bitwise (matrix products reassociate the row sums).
+            mesh = self.mesh
+
+            def build():
+                d4 = (Mgc @ sparse_operator(mesh, "cell_divergence")) - (
+                    Mgv @ sparse_operator(mesh, "vertex_curl")
+                )
+                return sp.csr_matrix(d4)
+
+            D4 = _composed_operator(mesh, "del4", build)
+            self.composed.append("del4")
+
+            def fast(ctx):
+                _matvec(Mgc, ctx["divergence"], e1)
+                _matvec(Mgv, ctx["vorticity"], e2)
+                np.subtract(e1, e2, out=e1)  # del2_u
+                _matvec(D4, e1, e2)  # del4_u in one composed matvec
+                np.multiply(e2, hv, out=e2)
+                np.subtract(ctx["tend_u"], e2, out=ctx["tend_u"])
+
+            return PlanStage("del4_dissipation", fast, kind="composed")
+
+        Mdiv = self.matrix("cell_divergence")
+        Mcurl = self.matrix("vertex_curl")
+
+        def fast(ctx):
+            _matvec(Mgc, ctx["divergence"], e1)
+            _matvec(Mgv, ctx["vorticity"], e2)
+            np.subtract(e1, e2, out=e1)  # del2_u
+            _matvec(Mdiv, e1, c1)  # div2
+            _matvec(Mcurl, e1, v1)  # vort2
+            _matvec(Mgc, c1, e2)
+            _matvec(Mgv, v1, e3)
+            np.subtract(e2, e3, out=e2)  # del4_u
+            np.multiply(e2, hv, out=e2)
+            np.subtract(ctx["tend_u"], e2, out=ctx["tend_u"])
+
+        def routed(ctx):
+            # Mirror the unfused dispatch sequence so A3/H1 split
+            # placements keep their band semantics inside the del4 chain.
+            mesh = ctx["mesh"]
+            del2 = reg.dispatch(
+                "edge_gradient_of_cell", mesh, ctx["divergence"], backend="sparse"
+            ) - reg.dispatch(
+                "edge_gradient_of_vertex", mesh, ctx["vorticity"], backend="sparse"
+            )
+            div2 = reg.dispatch("cell_divergence", mesh, del2, backend="sparse")
+            vort2 = reg.dispatch("vertex_curl", mesh, del2, backend="sparse")
+            del4 = reg.dispatch(
+                "edge_gradient_of_cell", mesh, div2, backend="sparse"
+            ) - reg.dispatch(
+                "edge_gradient_of_vertex", mesh, vort2, backend="sparse"
+            )
+            np.multiply(del4, hv, out=e2)
+            np.subtract(ctx["tend_u"], e2, out=ctx["tend_u"])
+
+        return PlanStage(
+            "del4_dissipation", fast, kind="matvec", pattern="A3,H1", routed=routed
+        )
+
+    def _emit_C1(self, sched) -> list[PlanStage]:
+        if self.config.thickness_adv_order == 2:
+            return []
+        if self.fuse == "algebraic" and self._h_edge_composable(sched):
+            return []  # folded into the composed D1 operator
+        Md2 = self.matrix("d2fdx2")
+        d2 = self._d2
+
+        def fast(ctx):
+            _matvec(Md2, ctx["h"], d2)
+
+        # Tuple-valued and no_split in the registry: never routed.
+        return [PlanStage("d2fdx2", fast, kind="matvec", op="d2fdx2")]
+
+    def _emit_C2(self, sched) -> list[PlanStage]:
+        return []  # computed by the fused C1 sweep (one two-row matvec)
+
+    def _h_edge_composable(self, sched) -> bool:
+        """Fusion legality of mean∘d2fdx2 composition into one operator.
+
+        Only the 4th-order combine is linear with input-independent
+        coefficients; the scheduler must also certify the ``d2fdx2_cell*``
+        intermediates as single-consumer (nothing else ever reads them).
+        """
+        if self.config.thickness_adv_order != 4:
+            return False  # order 3's sign(u) coefficients are input-dependent
+        from ..dataflow.schedule import single_consumer_vars
+
+        seams = single_consumer_vars(sched.graph, protected=_PROTECTED_VARS)
+        return {"d2fdx2_cell1", "d2fdx2_cell2"} <= seams
+
+    def _emit_D1(self, sched) -> list[PlanStage]:
+        order = self.config.thickness_adv_order
+        Mmean = self.matrix("cell_to_edge_mean")
+        reg = self.registry
+
+        if order > 2 and self.fuse == "algebraic" and self._h_edge_composable(sched):
+            mesh = self.mesh
+            dc2_half = (mesh.metrics.dcEdge**2 / 12.0) * 0.5
+
+            def build():
+                Md2 = sparse_operator(mesh, "d2fdx2")
+                S = Md2[0::2] + Md2[1::2]  # d2_1 + d2_2 rows per edge
+                return sp.csr_matrix(Mmean - sp.diags(dc2_half) @ S)
+
+            H4 = _composed_operator(self.mesh, "h_edge_order4", build)
+            self.composed.append("h_edge_order4")
+
+            def fast(ctx):
+                _matvec(H4, ctx["h"], ctx["h_edge"])
+
+            return [PlanStage("h_edge_order4", fast, kind="composed")]
+
+        stages = [
+            PlanStage(
+                "cell_to_edge_mean",
+                lambda ctx, M=Mmean: _matvec(M, ctx["h"], ctx["h_edge"]),
+                kind="matvec",
+                op="cell_to_edge_mean",
+                pattern="D1",
+                routed=self._route("cell_to_edge_mean", "h_edge", "h"),
+            )
+        ]
+        if order == 2:
+            return stages
+
+        d2 = self._d2
+        d2_1, d2_2 = d2[0::2], d2[1::2]
+        e1, e2 = self._e1, self._e2
+        dc2_12 = self.mesh.metrics.dcEdge**2 / 12.0
+        dc2_half = dc2_12 * 0.5
+
+        def corr_fast(ctx):
+            np.add(d2_1, d2_2, out=e1)
+            np.multiply(e1, dc2_half, out=e1)
+            np.subtract(ctx["h_edge"], e1, out=ctx["h_edge"])
+
+        stages.append(PlanStage("h_edge_correction", corr_fast))
+        if order == 3:
+            coef = self.config.coef_3rd_order
+
+            def upwind_fast(ctx):
+                np.sign(ctx["u"], out=e2)
+                np.multiply(e2, coef, out=e2)
+                np.multiply(e2, dc2_12, out=e2)
+                np.multiply(e2, 0.5, out=e2)
+                np.subtract(d2_2, d2_1, out=e1)
+                np.multiply(e2, e1, out=e2)
+                np.add(ctx["h_edge"], e2, out=ctx["h_edge"])
+
+            stages.append(PlanStage("h_edge_upwind3", upwind_fast))
+        return stages
+
+    def _emit_A2(self, sched) -> list[PlanStage]:
+        M = self.matrix("kinetic_energy")
+        e1 = self._e1
+
+        def fast(ctx):
+            np.multiply(ctx["u"], ctx["u"], out=e1)
+            _matvec(M, e1, ctx["ke"])
+
+        return [
+            PlanStage(
+                "kinetic_energy", fast, kind="matvec",
+                op="kinetic_energy", pattern="A2",
+                routed=self._route("kinetic_energy", "ke", "u"),
+            )
+        ]
+
+    def _plain_matvec(self, name, op, pattern, out_key, in_key) -> PlanStage:
+        M = self.matrix(op)
+
+        def fast(ctx):
+            _matvec(M, ctx[in_key], ctx[out_key])
+
+        return PlanStage(
+            name, fast, kind="matvec", op=op, pattern=pattern,
+            routed=self._route(op, out_key, in_key),
+        )
+
+    def _emit_A3(self, sched) -> list[PlanStage]:
+        return [
+            self._plain_matvec("divergence", "cell_divergence", "A3", "divergence", "u")
+        ]
+
+    def _emit_H1(self, sched) -> list[PlanStage]:
+        return [self._plain_matvec("vorticity", "vertex_curl", "H1", "vorticity", "u")]
+
+    def _emit_B2(self, sched) -> list[PlanStage]:
+        return [
+            self._plain_matvec(
+                "tangential_velocity", "tangential_velocity", "B2", "v", "u"
+            )
+        ]
+
+    def _emit_E1(self, sched) -> list[PlanStage]:
+        M = self.matrix("vertex_from_cells_kite")
+        reg = self.registry
+
+        def pv_vertex(ctx):
+            hv = ctx["h_vertex"]
+            if np.any(hv <= 0.0):
+                raise FloatingPointError(_UNSTABLE_MSG)
+            np.add(ctx["f"], ctx["vorticity"], out=ctx["pv_vertex"])
+            np.divide(ctx["pv_vertex"], hv, out=ctx["pv_vertex"])
+
+        def fast(ctx):
+            _matvec(M, ctx["h"], ctx["h_vertex"])
+            pv_vertex(ctx)
+
+        def routed(ctx):
+            np.copyto(
+                ctx["h_vertex"],
+                reg.dispatch(
+                    "vertex_from_cells_kite", ctx["mesh"], ctx["h"], backend="sparse"
+                ),
+            )
+            pv_vertex(ctx)
+
+        return [
+            PlanStage(
+                "pv_vertex", fast, kind="matvec",
+                op="vertex_from_cells_kite", pattern="E1", routed=routed,
+            )
+        ]
+
+    def _emit_F1(self, sched) -> list[PlanStage]:
+        return [
+            self._plain_matvec(
+                "pv_cell", "cell_from_vertices_kite", "F1", "pv_cell", "pv_vertex"
+            )
+        ]
+
+    def _emit_G1(self, sched) -> list[PlanStage]:
+        stages = [
+            self._plain_matvec(
+                "pv_edge", "vertex_to_edge_mean", "G1", "pv_edge", "pv_vertex"
+            )
+        ]
+        if self.config.apvm_upwinding != 0.0:
+            Mgv = self.matrix("edge_gradient_of_vertex")
+            Mgc = self.matrix("edge_gradient_of_cell")
+            factor = self.config.apvm_upwinding * self.config.dt
+            e1, e2 = self._e1, self._e2
+
+            def apvm_fast(ctx):
+                _matvec(Mgv, ctx["pv_vertex"], e1)
+                _matvec(Mgc, ctx["pv_cell"], e2)
+                np.multiply(ctx["v"], e1, out=e1)
+                np.multiply(ctx["u"], e2, out=e2)
+                np.add(e1, e2, out=e1)
+                np.multiply(e1, factor, out=e1)
+                np.subtract(ctx["pv_edge"], e1, out=ctx["pv_edge"])
+
+            stages.append(PlanStage("apvm_upwinding", apvm_fast, kind="matvec"))
+        return stages
+
+    def _emit_A4(self, sched) -> list[PlanStage]:
+        M = self.matrix("velocity_reconstruction")
+        reg = self.registry
+
+        def fast(ctx):
+            ctx["U"] = (M @ ctx["u"]).reshape(-1, 3)
+
+        def routed(ctx):
+            ctx["U"] = reg.dispatch(
+                "velocity_reconstruction", ctx["mesh"], ctx["u"], backend="sparse"
+            )
+
+        return [
+            PlanStage(
+                "velocity_reconstruction", fast, kind="matvec",
+                op="velocity_reconstruction", pattern="A4", routed=routed,
+            )
+        ]
+
+    def _emit_X6(self, sched) -> list[PlanStage]:
+        from ..geometry.sphere import tangent_basis
+
+        east, north = tangent_basis(self.mesh.metrics.xCell)
+
+        def fast(ctx):
+            U = ctx["U"]
+            ctx["zonal"] = np.sum(U * east, axis=1)
+            ctx["meridional"] = np.sum(U * north, axis=1)
+
+        return [PlanStage("tangent_rotation", fast)]
+
+
+def compile_plan(mesh, config, registry=None) -> ExecutionPlan:
+    """Compile the fused :class:`ExecutionPlan` for ``(mesh, config)``.
+
+    Requires ``config.backend == "sparse"`` (the plan closes over the CSR
+    operators).  Use :func:`compiled_plan` for the memoizing entry point
+    the kernels call.
+    """
+    from ..dataflow.schedule import schedule_substep
+    from .registry import default_registry
+
+    if config.backend != "sparse":
+        raise ValueError(
+            "execution plans require backend='sparse' "
+            f"(got backend={config.backend!r})"
+        )
+    fuse = getattr(config, "plan_fuse", "exact")
+    if fuse not in PLAN_FUSE_MODES:
+        raise ValueError(
+            f"plan_fuse must be one of {PLAN_FUSE_MODES}, got {fuse!r}"
+        )
+    reg = registry if registry is not None else default_registry()
+    bad = unplanned_labels(config)
+    if bad:
+        raise KeyError(f"unplannable Table I labels: {sorted(bad)}")
+    comp = _Compiler(mesh, config, reg)
+    sched1 = schedule_substep(config, stage=1)
+    sched4 = schedule_substep(config, stage=4)
+    tend = comp.compile_kernel(sched1, "compute_tend")
+    diag = comp.compile_kernel(sched1, "compute_solve_diagnostics")
+    recon = comp.compile_kernel(sched4, "mpas_reconstruct")
+    return ExecutionPlan(
+        mesh,
+        key=plan_key(config),
+        fuse=fuse,
+        tend_stages=tend,
+        diag_stages=diag,
+        recon_stages=recon,
+        buffers=comp.buffers,
+        composed=tuple(comp.composed),
+        schedule_labels={
+            "tend": [sched1.graph.instance(n).label
+                     for n in sched1.nodes_for_kernel("compute_tend")],
+            "diagnostics": [sched1.graph.instance(n).label
+                            for n in sched1.nodes_for_kernel("compute_solve_diagnostics")],
+            "reconstruct": [sched4.graph.instance(n).label
+                            for n in sched4.nodes_for_kernel("mpas_reconstruct")],
+        },
+    )
+
+
+# ----------------------------------------------------------- plan memoizer
+_PLANS: "weakref.WeakKeyDictionary[object, dict[tuple, ExecutionPlan]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compiled_plan(mesh, config, registry=None) -> ExecutionPlan:
+    """The memoized plan for ``(mesh, config)``, compiled at most once.
+
+    Keyed by :func:`plan_key`, so a config mutation that changes the
+    compiled structure (e.g. the rollback handler halving ``dt``, which is
+    baked into the APVM factor) transparently compiles a fresh plan; the
+    underlying CSR operators are shared through the PR 5 operator cache
+    either way.
+    """
+    plans = _PLANS.get(mesh)
+    if plans is None:
+        plans = {}
+        _PLANS[mesh] = plans
+    key = plan_key(config)
+    plan = plans.get(key)
+    if plan is None:
+        plan = compile_plan(mesh, config, registry=registry)
+        plans[key] = plan
+        get_registry().counter("engine.plan.compile", fuse=plan.fuse).inc()
+    return plan
+
+
+def clear_plan_memory_cache() -> None:
+    """Drop in-process compiled plans and composed matrices (cache tests)."""
+    _PLANS.clear()
+    _COMPOSED_MEM.clear()

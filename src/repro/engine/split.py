@@ -41,10 +41,26 @@ from ..obs.trace import get_tracer
 from ..resilience.faults import FaultInjected, fault_site
 from ..resilience.recovery import active_recovery_policy
 
-__all__ = ["use_placements", "active_placement", "active_placements", "run_split"]
+__all__ = [
+    "use_placements",
+    "active_placement",
+    "active_placements",
+    "placements_active",
+    "run_split",
+]
 
 #: Table I label -> Placement, installed by :func:`use_placements`.
 _ACTIVE: dict[str, object] = {}
+
+
+def placements_active() -> bool:
+    """True when any placement is installed (the plan executor's fast check).
+
+    The fused-plan executor (:mod:`repro.engine.plan`) bypasses the
+    per-dispatch placement lookup entirely; this single truthiness test is
+    what keeps that legal — when it is False no stage can need routing.
+    """
+    return bool(_ACTIVE)
 
 
 def active_placements() -> dict[str, object]:

@@ -95,6 +95,15 @@ class SWConfig:
     hyperviscosity: float = 0.0
     advection_only: bool = False
     backend: str = "numpy"
+    #: Execute substeps through a fused per-mesh :class:`~repro.engine.plan.
+    #: ExecutionPlan` (requires ``backend="sparse"``): the RK kernels run as
+    #: compiled stage programs with zero per-op dispatch, bitwise identical
+    #: to the unfused sparse backend.
+    plan: bool = False
+    #: Plan fusion mode: ``"exact"`` replays the unfused arithmetic bitwise;
+    #: ``"algebraic"`` additionally composes linear-operator chains into
+    #: single matrices (equivalent to ~1e-12, not bitwise).
+    plan_fuse: str = "exact"
     parallel: str = "serial"
     ranks: int = 1
     backend_retries: int = 1
@@ -165,6 +174,18 @@ class SWConfig:
 
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.plan and self.backend != "sparse":
+            raise ValueError(
+                "plan=True requires backend='sparse' (plans fuse the "
+                f"precompiled CSR operators), got backend={self.backend!r}"
+            )
+        from ..engine.plan import PLAN_FUSE_MODES  # deferred: import-light
+
+        if self.plan_fuse not in PLAN_FUSE_MODES:
+            raise ValueError(
+                f"plan_fuse must be one of {PLAN_FUSE_MODES}, "
+                f"got {self.plan_fuse!r}"
+            )
 
     def recovery_policy(self):
         """The :class:`~repro.resilience.recovery.RecoveryPolicy` these knobs

@@ -40,6 +40,10 @@ def compute_solve_diagnostics(
     config : SWConfig
         ``apvm_upwinding`` and ``thickness_adv_order`` are honoured here.
     """
+    if config.plan:
+        from ..engine.plan import compiled_plan
+
+        return compiled_plan(mesh, config).diagnostics(state, f_vertex)
     h, u = state.h, state.u
     backend = config.backend
 

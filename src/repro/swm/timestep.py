@@ -125,6 +125,12 @@ class RK4Integrator:
             if boundary_mask is None
             else np.asarray(boundary_mask, dtype=bool)
         )
+        if config.plan:
+            # Compile (and warm the cache for) the fused plan up front so
+            # the first step does not pay compilation inside the timed loop.
+            from ..engine.plan import compiled_plan
+
+            compiled_plan(mesh, config, registry=registry)
 
     # The halo-exchange hook lets the distributed driver reuse this exact
     # integrator; serial runs leave it as a no-op.
@@ -185,6 +191,14 @@ class RK4Integrator:
                         self.mesh, acc, self.f_vertex, self.config
                     )
         with kernel_span("mpas_reconstruct", backend=backend):
-            recon = self._mpas_reconstruct(self.mesh, acc.u, backend=backend)
+            if self.config.plan:
+                # Looked up per step (not cached on self): a config
+                # mutation such as the rollback handler halving dt maps to
+                # a different plan key and must recompile transparently.
+                from ..engine.plan import compiled_plan
+
+                recon = compiled_plan(self.mesh, self.config).reconstruct(acc.u)
+            else:
+                recon = self._mpas_reconstruct(self.mesh, acc.u, backend=backend)
         assert new_diag is not None
         return StepResult(state=acc, diagnostics=new_diag, reconstruction=recon)

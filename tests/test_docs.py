@@ -20,6 +20,7 @@ DOCTESTED = [
     "architecture.md",
     "backends.md",
     "resilience.md",
+    "plans.md",
 ]
 
 

@@ -25,6 +25,8 @@ from repro import api
 # ----------------------------------------------------------------- surface
 API_SURFACE = {
     "SWConfig",
+    "ExecutionPlan",
+    "compiled_plan",
     "TestCase",
     "RunResult",
     "State",
