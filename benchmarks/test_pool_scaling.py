@@ -3,15 +3,30 @@
 Unlike Figures 8/9 (which exercise the *analytic* scaling models), this
 benchmark measures actual wall-clock: the same Galewsky integration run
 serially and through :class:`repro.parallel.pool.PoolShallowWater` at 1, 2
-and 4 ranks, on the real machine this suite runs on.  Results (steps/s,
-speedup, parallel efficiency, core count) are written to
-``benchmarks/results/pool_scaling.json`` and a rendered table.
+and 4 ranks, on the real machine this suite runs on — and now across the
+halo-schedule axis.  Two suites run:
+
+* **numpy** at ``REPRO_BENCH_LEVEL`` (default 3) — the kernel baseline,
+  under both the ``static`` (8 exchanges/step) and ``dataflow``
+  (comm-avoiding, interior/boundary overlap) halo schedules.
+* **plan+sparse** at ``max(REPRO_BENCH_LEVEL, 5)`` (>= 10k cells) — the
+  fast path the paper's hybrid backend corresponds to, same two
+  schedules.  This is the configuration the scaling claim is made on: at
+  small cell counts the fixed per-sync cost dominates and no schedule
+  can save the pool.
+
+Per configuration the JSON payload records ``backend``, ``halo_schedule``,
+``elided_syncs``, ``exchanges_per_step`` and ``exchanged_bytes`` (per
+step, across ranks) next to the usual wall/speedup/efficiency numbers —
+so before/after comparisons of the comm-avoiding schedule are one jq
+expression away in ``benchmarks/results/pool_scaling.json``.
 
 The speedup assertion is honest about hardware: a pool cannot beat serial
 wall-clock without cores to run on.  With >= 4 usable cores the 4-rank
-speedup must exceed 1.5x; with fewer cores the numbers are recorded and the
-assertion is skipped (the bitwise-equality contract is tested regardless —
-concurrency must never change the answer).
+plan+sparse/dataflow speedup must exceed 1.5x; with fewer cores the
+numbers are recorded and the assertion is skipped (the bitwise-equality
+contract is asserted regardless — concurrency and the halo schedule must
+never change the answer).
 
 Scale knobs: ``REPRO_BENCH_LEVEL`` (mesh level, default 3),
 ``REPRO_BENCH_POOL_STEPS`` (steps per timed run, default 10).
@@ -50,83 +65,130 @@ def _timed_serial(mesh, case, cfg, steps):
 
 def _timed_pool(mesh, case, cfg, steps, n_ranks):
     from repro.parallel import PoolShallowWater
+    from repro.parallel.halo import schedule_exchange_bytes
 
     with PoolShallowWater(mesh, n_ranks, case, cfg) as pool:
         t0 = time.perf_counter()
         result = pool.run(steps)
         wall = time.perf_counter() - t0
-    return wall, result
+        sched = pool.schedule
+        meta = {
+            "elided_syncs": len(sched.elided),
+            "exchanges_per_step": sched.exchanges_per_step,
+            "exchanged_bytes": schedule_exchange_bytes(pool.local_meshes, sched),
+        }
+    return wall, result, meta
 
 
-def test_pool_scaling(report):
+def _run_suite(suite, level, steps, backend_kw):
     from repro.api import SWConfig, build_mesh, resolve_case, suggested_dt
     from repro.constants import GRAVITY
-
-    level = bench_level()
-    steps = int(os.environ.get("REPRO_BENCH_POOL_STEPS", "10"))
-    cores = _usable_cores()
 
     mesh = build_mesh(level)
     case = resolve_case("galewsky")
     dt = suggested_dt(mesh, case, GRAVITY, cfl=0.5)
-    cfg = SWConfig(dt=dt)
 
-    serial_wall, serial_res = _timed_serial(mesh, case, cfg, steps)
-
-    points = []
-    for n_ranks in RANKS:
-        wall, res = _timed_pool(mesh, case, cfg, steps, n_ranks)
-        # Concurrency must never change the answer.
-        assert np.array_equal(res.state.h, serial_res.state.h)
-        assert np.array_equal(res.state.u, serial_res.state.u)
-        points.append(
+    configs = []
+    serial_wall = None
+    for schedule in ("static", "dataflow"):
+        cfg = SWConfig(dt=dt, halo_schedule=schedule, **backend_kw)
+        if serial_wall is None:  # the schedule only exists in the pool
+            serial_wall, serial_res = _timed_serial(mesh, case, cfg, steps)
+        points = []
+        for n_ranks in RANKS:
+            wall, res, meta = _timed_pool(mesh, case, cfg, steps, n_ranks)
+            # Concurrency and the halo schedule must never change the answer.
+            assert np.array_equal(res.state.h, serial_res.state.h)
+            assert np.array_equal(res.state.u, serial_res.state.u)
+            points.append(
+                {
+                    "ranks": n_ranks,
+                    "wall_s": wall,
+                    "steps_per_s": steps / wall,
+                    "speedup": serial_wall / wall,
+                    "efficiency": serial_wall / wall / n_ranks,
+                    **meta,
+                }
+            )
+        configs.append(
             {
-                "ranks": n_ranks,
-                "wall_s": wall,
-                "steps_per_s": steps / wall,
-                "speedup": serial_wall / wall,
-                "efficiency": serial_wall / wall / n_ranks,
+                "suite": suite,
+                "backend": backend_kw.get("backend", "numpy"),
+                "plan": bool(backend_kw.get("plan", False)),
+                "halo_schedule": schedule,
+                "mesh_level": level,
+                "n_cells": int(mesh.nCells),
+                "steps": steps,
+                "serial_wall_s": serial_wall,
+                "pool": points,
             }
         )
+    return configs
 
-    payload = {
-        "mesh_level": level,
-        "n_cells": int(mesh.nCells),
-        "steps": steps,
-        "usable_cores": cores,
-        "serial_wall_s": serial_wall,
-        "pool": points,
-    }
+
+def test_pool_scaling(report):
+    level = bench_level()
+    plan_level = max(level, 5)  # >= 10k cells for the scaling claim
+    steps = int(os.environ.get("REPRO_BENCH_POOL_STEPS", "10"))
+    cores = _usable_cores()
+
+    configs = _run_suite("numpy", level, steps, dict())
+    configs += _run_suite(
+        "plan_sparse", plan_level, steps, dict(backend="sparse", plan=True)
+    )
+
+    payload = {"usable_cores": cores, "configs": configs}
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "pool_scaling.json").write_text(
         json.dumps(payload, indent=2) + "\n"
     )
 
-    lines = [
-        f"Pool strong scaling - Galewsky, level {level} "
-        f"({mesh.nCells:,} cells), {steps} steps, {cores} usable core(s)",
-        f"  serial        : {serial_wall:8.3f} s",
-    ]
-    for p in points:
+    lines = [f"Pool strong scaling - Galewsky, {cores} usable core(s)"]
+    for c in configs:
         lines.append(
-            f"  pool ranks={p['ranks']}  : {p['wall_s']:8.3f} s   "
-            f"speedup {p['speedup']:.2f}x   efficiency {p['efficiency'] * 100:.0f}%"
+            f"  {c['suite']}/{c['halo_schedule']} - level {c['mesh_level']} "
+            f"({c['n_cells']:,} cells), {c['steps']} steps, "
+            f"serial {c['serial_wall_s']:.3f} s"
         )
+        for p in c["pool"]:
+            lines.append(
+                f"    ranks={p['ranks']}  : {p['wall_s']:8.3f} s   "
+                f"speedup {p['speedup']:.2f}x   "
+                f"efficiency {p['efficiency'] * 100:.0f}%   "
+                f"{p['exchanges_per_step']} sync/step   "
+                f"{p['exchanged_bytes'] / 1024:.0f} KiB/step"
+            )
     report("pool_scaling", "\n".join(lines))
 
-    by_ranks = {p["ranks"]: p for p in points}
+    # The comm-avoiding schedule must actually avoid communication, on
+    # every suite and rank count: fewer syncs, fewer bytes.
+    by_key = {
+        (c["suite"], c["halo_schedule"]): c for c in configs
+    }
+    for suite in ("numpy", "plan_sparse"):
+        static = by_key[(suite, "static")]
+        dataflow = by_key[(suite, "dataflow")]
+        for ps, pd in zip(static["pool"], dataflow["pool"]):
+            assert pd["exchanges_per_step"] < ps["exchanges_per_step"]
+            assert pd["elided_syncs"] >= 1
+            if ps["ranks"] > 1:  # a single rank has no halo to ship
+                assert pd["exchanged_bytes"] < ps["exchanged_bytes"]
+
+    best = by_key[("plan_sparse", "dataflow")]
+    by_ranks = {p["ranks"]: p for p in best["pool"]}
     if cores >= 4:
         assert by_ranks[4]["speedup"] > 1.5, (
-            f"4-rank pool speedup {by_ranks[4]['speedup']:.2f}x <= 1.5x "
-            f"on {cores} cores"
+            f"4-rank plan+dataflow pool speedup {by_ranks[4]['speedup']:.2f}x "
+            f"<= 1.5x on {cores} cores"
         )
     elif cores >= 2:
         assert by_ranks[2]["speedup"] > 1.1, (
-            f"2-rank pool speedup {by_ranks[2]['speedup']:.2f}x <= 1.1x "
-            f"on {cores} cores"
+            f"2-rank plan+dataflow pool speedup {by_ranks[2]['speedup']:.2f}x "
+            f"<= 1.1x on {cores} cores"
         )
     else:
         pytest.skip(
             f"only {cores} usable core(s): speedup recorded "
-            f"({by_ranks[4]['speedup']:.2f}x at 4 ranks) but not asserted"
+            f"({by_ranks[4]['speedup']:.2f}x at 4 ranks, plan+dataflow) "
+            f"but not asserted"
         )

@@ -53,6 +53,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         plan=args.plan,
         parallel=args.parallel,
         ranks=args.ranks,
+        halo_schedule=args.halo_schedule,
     )
     if args.steps is None and args.days is None:
         args.days = case.suggested_days
@@ -176,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel", default="serial", choices=("serial", "lockstep", "pool")
     )
     p.add_argument("--ranks", type=int, default=1)
+    p.add_argument(
+        "--halo-schedule", default="static", choices=("static", "dataflow"),
+        help="halo synchronization schedule of the decomposed modes: "
+        "static runs all 8 Algorithm-1 sync points; dataflow runs the "
+        "comm-avoiding schedule derived from the step graph",
+    )
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("selftest", help="engine/resilience/obs selftests")

@@ -18,6 +18,7 @@ __all__ = [
     "critical_path",
     "total_work",
     "independent_sets",
+    "sync_point_usage",
 ]
 
 
@@ -90,6 +91,62 @@ def critical_path(
 def total_work(dfg: DataFlowGraph, cost: dict[str, float]) -> float:
     """Sum of node costs — the serial execution time of the diagram."""
     return sum(cost.get(n, 0.0) for n in dfg.compute_nodes())
+
+
+def sync_point_usage(dfg: DataFlowGraph) -> dict[str, dict[str, dict]]:
+    """What every halo exchange of the diagram actually synchronizes.
+
+    For each halo node, and each variable it exchanges, report:
+
+    ``producer``
+        The node that last wrote the variable before the exchange (a
+        compute node, another halo node, or a source node).
+    ``dirty``
+        True when the producer is a *compute* node — some pattern wrote
+        the variable since its last exchange, so rank-local halo copies
+        may disagree with the owners and the exchange moves real
+        information.  False when the producer is another halo exchange or
+        a stage input: the halo copies are still exactly what the previous
+        exchange (or the caller) left there, and re-exchanging them is a
+        no-op barrier.
+    ``readers``
+        The compute nodes that consume the variable *from this exchange*
+        (i.e. before the next exchange covering it).  Empty means nothing
+        inside the diagram reads the exchanged values — they matter only
+        across the diagram boundary (the next step).
+
+    This is the evidence :func:`repro.dataflow.schedule.derive_halo_schedule`
+    uses to elide synchronization points: an exchange whose variables are
+    all clean moves no information and can be dropped.
+    """
+    usage: dict[str, dict[str, dict]] = {}
+    for node in dfg.halo_nodes():
+        per_var: dict[str, dict] = {}
+        for var in dfg.graph.nodes[node]["variables"]:
+            producer = next(
+                (
+                    a
+                    for a, _, d in dfg.graph.in_edges(node, data=True)
+                    if d.get("variable") == var
+                ),
+                None,
+            )
+            kind = dfg.graph.nodes[producer]["kind"] if producer else "source"
+            readers = tuple(
+                sorted(
+                    b
+                    for _, b, d in dfg.graph.out_edges(node, data=True)
+                    if d.get("variable") == var
+                    and dfg.graph.nodes[b]["kind"] == "compute"
+                )
+            )
+            per_var[var] = {
+                "producer": producer,
+                "dirty": kind == "compute",
+                "readers": readers,
+            }
+        usage[node] = per_var
+    return usage
 
 
 def independent_sets(dfg: DataFlowGraph, nodes: list[str]) -> bool:

@@ -42,6 +42,8 @@ __all__ = [
     "render_kernel_profile",
     "resilience_rows",
     "render_resilience_report",
+    "halo_rows",
+    "render_halo_report",
     "run_traced",
     "main",
 ]
@@ -275,6 +277,59 @@ def render_resilience_report(registry: MetricsRegistry, title: str) -> str:
     return render_table(title, ["series", "tags", "value"], rows)
 
 
+# ----------------------------------------------------------- halo exchanges
+def halo_rows(tracer: Tracer) -> list[list[str]]:
+    """Per-sync-point halo traffic from the ``halo``-category spans.
+
+    The decomposed runners tag every exchange span with its Algorithm-1
+    sync point (``pre@s1`` .. ``post@s4``), the variables moved, a bytes
+    estimate and — under the dataflow schedule — how much of the span was
+    spent blocked (``wait_s``) versus usefully computing inside the
+    overlap window (``overlap_s``).  Static full exchanges, which carry no
+    ``sync`` tag, aggregate under ``full`` with the whole span as wait.
+    """
+    from ..dataflow.schedule import SYNC_POINT_NAMES
+
+    by_sync: dict[str, list] = {}
+    for s in tracer.spans:
+        if s.category != "halo" or s.end is None:
+            continue
+        key = str(s.tags.get("sync", "full"))
+        row = by_sync.setdefault(key, [0, 0.0, 0.0, 0.0, 0.0, set()])
+        row[0] += 1
+        row[1] += s.duration
+        row[2] += float(s.tags.get("wait_s", s.duration))
+        row[3] += float(s.tags.get("overlap_s", 0.0))
+        row[4] += float(s.tags.get("bytes_est", 0.0))
+        row[5].update(str(s.tags.get("vars", "h,u")).split(","))
+    order = {name: i for i, name in enumerate(SYNC_POINT_NAMES)}
+    rows = []
+    for sync in sorted(by_sync, key=lambda k: (order.get(k, len(order)), k)):
+        count, wall, wait, overlap, nbytes, variables = by_sync[sync]
+        rows.append([
+            sync,
+            ",".join(sorted(variables)),
+            count,
+            f"{nbytes / 1024.0:.1f} KiB",
+            f"{wall * 1e3:.2f} ms",
+            f"{wait * 1e3:.2f} ms",
+            f"{overlap * 1e3:.2f} ms",
+        ])
+    return rows
+
+
+def render_halo_report(tracer: Tracer, title: str) -> str:
+    """The per-sync-point halo table (empty-safe)."""
+    from ..bench.tables import render_table
+
+    rows = halo_rows(tracer) or [["(no halo exchanges)", "-", 0, "-", "-", "-", "-"]]
+    return render_table(
+        title,
+        ["sync", "vars", "exchanges", "bytes", "wall", "wait", "overlap"],
+        rows,
+    )
+
+
 # ------------------------------------------------------------- kernel profile
 def kernel_profile_rows(tracer: Tracer) -> list[list[str]]:
     """The classic per-kernel breakdown (kernel, wall time, share)."""
@@ -309,6 +364,9 @@ def run_traced(
     config=None,
     warmup: bool = True,
     backend: str = "numpy",
+    parallel: str = "serial",
+    ranks: int = 1,
+    halo_schedule: str = "static",
 ) -> tuple[Tracer, MetricsRegistry, object, object]:
     """Integrate ``steps`` RK-4 steps with tracing on.
 
@@ -317,6 +375,10 @@ def run_traced(
     coefficients — so the spans measure steady-state kernel cost.
     ``backend`` selects the engine execution backend (ignored when an
     explicit ``config`` is given — set ``config.backend`` instead).
+
+    ``parallel``/``ranks``/``halo_schedule`` select a decomposed executor
+    (lockstep or pool) instead of the serial integrator; its per-exchange
+    ``halo`` spans feed :func:`halo_rows`.
     """
     import repro.swm as swm
     from ..constants import GRAVITY
@@ -336,7 +398,19 @@ def run_traced(
             dt=suggested_dt(mesh, test_case, GRAVITY, cfl=0.5),
             thickness_adv_order=4,
             backend=backend,
+            parallel=parallel,
+            ranks=ranks,
+            halo_schedule=halo_schedule,
         )
+    if config.parallel != "serial":
+        from ..api import run as api_run
+
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with use_tracer(tracer), use_registry(registry):
+            api_run(test_case, mesh=mesh, config=config, steps=steps)
+        registry.counter("swm.steps", case=case, level=level).inc(steps)
+        return tracer, registry, mesh, config
     state, b_cell = initialize(mesh, test_case)
     f_vertex = config.coriolis(mesh.metrics.latVertex)
     integ = RK4Integrator(mesh, config, b_cell, f_vertex)
@@ -473,6 +547,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backend", default="numpy",
                         help="engine execution backend "
                              "(numpy/scatter/codegen/sparse)")
+    parser.add_argument("--parallel", default="serial",
+                        choices=("serial", "lockstep", "pool"),
+                        help="executor; non-serial runs add the per-sync-"
+                             "point halo table")
+    parser.add_argument("--ranks", type=int, default=1)
+    parser.add_argument("--halo-schedule", default="static",
+                        choices=("static", "dataflow"),
+                        help="halo schedule of the decomposed executors")
     parser.add_argument("--compare-backends", action="store_true",
                         help="run under every backend and print the "
                              "per-backend per-pattern dispatch costs")
@@ -505,7 +587,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     tracer, registry, mesh, config = run_traced(
-        args.case, args.level, args.steps, backend=args.backend
+        args.case, args.level, args.steps, backend=args.backend,
+        parallel=args.parallel, ranks=args.ranks,
+        halo_schedule=args.halo_schedule,
     )
     rows = measured_vs_modeled(tracer, mesh, config)
     print(render_cost_report(
@@ -521,6 +605,13 @@ def main(argv: list[str] | None = None) -> int:
     if resilience_rows(registry):
         print()
         print(render_resilience_report(registry, "Fault and recovery counters"))
+    if halo_rows(tracer):
+        print()
+        print(render_halo_report(
+            tracer,
+            f"Halo exchanges per sync point ({args.parallel}, "
+            f"ranks={args.ranks}, schedule={args.halo_schedule})",
+        ))
     if args.kernels:
         print()
         print(render_kernel_profile(

@@ -35,6 +35,8 @@ __all__ = [
     "build_local_mesh",
     "halo_layers_required",
     "exchange_bytes",
+    "ring_halo_indices",
+    "schedule_exchange_bytes",
 ]
 
 
@@ -67,6 +69,12 @@ class LocalMesh:
     n_owned_edges: int
     n_owned_vertices: int
 
+    # Ring id per local point: 0 = owned, k = k-th ghost ring.  Halo edges
+    # on the partition boundary carry ring 0 (they touch an owned cell);
+    # a ring-limited exchange must still refresh them.
+    cell_rings: np.ndarray = None  # type: ignore[assignment]
+    edge_rings: np.ndarray = None  # type: ignore[assignment]
+
     @property
     def nCells(self) -> int:
         return self.connectivity.n_cells
@@ -96,6 +104,26 @@ class LocalMesh:
         return self.nEdges - self.n_owned_edges
 
 
+def ring_halo_indices(
+    lm: LocalMesh, rings: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Local halo indices a depth-``rings`` exchange must refresh.
+
+    Returns ``(cell_idx, edge_idx)``: the halo cells with ring ``<= rings``
+    (cells are ring-ordered, so this is a contiguous run starting at
+    ``n_owned_cells``) and the halo edges whose nearest adjacent local cell
+    sits within ``rings`` — exactly the edge set a depth-``rings`` local
+    mesh would contain.  With ``rings`` at or above the built halo depth
+    this covers every halo point and the exchange is the full one.
+    """
+    cr, er = lm.cell_rings, lm.edge_rings
+    cell_idx = np.flatnonzero((cr >= 1) & (cr <= rings))
+    edge_idx = lm.n_owned_edges + np.flatnonzero(
+        er[lm.n_owned_edges:] <= rings
+    )
+    return cell_idx, edge_idx
+
+
 def exchange_bytes(local_meshes: "list[LocalMesh]") -> float:
     """Bytes one prognostic halo exchange moves across all ranks.
 
@@ -107,6 +135,31 @@ def exchange_bytes(local_meshes: "list[LocalMesh]") -> float:
     return 8.0 * sum(
         lm.n_halo_cells + lm.n_halo_edges for lm in local_meshes
     )
+
+
+def schedule_exchange_bytes(local_meshes: "list[LocalMesh]", schedule) -> float:
+    """Bytes one RK step moves across all ranks under a ``HaloSchedule``.
+
+    Counts, for every kept sync point, only the fields it names and only
+    the halo points within its ring depth — the payload a comm-avoiding
+    exchange actually ships.  The static schedule reduces to
+    ``8 * exchange_bytes(local_meshes)`` when the built halo depth matches
+    the schedule's ring depth.
+    """
+    total = 0.0
+    for lm in local_meshes:
+        per_depth: dict[int, tuple[int, int]] = {}
+        for point in schedule.points:
+            if point.rings not in per_depth:
+                ci, ei = ring_halo_indices(lm, point.rings)
+                per_depth[point.rings] = (int(ci.size), int(ei.size))
+            n_cells, n_edges = per_depth[point.rings]
+            fields = point.fields
+            total += 8.0 * (
+                (n_cells if "h" in fields else 0)
+                + (n_edges if "u" in fields else 0)
+            )
+    return total
 
 
 def _halo_rings(mesh: Mesh, owned: np.ndarray, layers: int) -> list[np.ndarray]:
@@ -152,6 +205,21 @@ def build_local_mesh(
 
     edges_global, n_owned_edges = local_points(conn.edgesOnCell, edge_owner)
     vertices_global, n_owned_vertices = local_points(conn.verticesOnCell, vertex_owner)
+
+    # Ring ids.  Cells are ring-ordered by construction; an edge's ring is
+    # the ring of its nearest adjacent local cell (absent second cells on
+    # the outermost ring count as infinitely far).
+    ring_of_global_cell = np.full(mesh.nCells, np.iinfo(np.int64).max, dtype=np.int64)
+    ring_of_global_cell[owned_cells] = 0
+    for depth, ring in enumerate(rings, start=1):
+        ring_of_global_cell[ring] = depth
+    cell_rings = ring_of_global_cell[cells_global]
+    edge_cell_rings = np.where(
+        conn.cellsOnEdge[edges_global] >= 0,
+        ring_of_global_cell[np.clip(conn.cellsOnEdge[edges_global], 0, None)],
+        np.iinfo(np.int64).max,
+    )
+    edge_rings = np.min(edge_cell_rings, axis=1)
 
     n_cells = cells_global.size
     n_edges = edges_global.size
@@ -269,4 +337,6 @@ def build_local_mesh(
         n_owned_cells=int(owned_cells.size),
         n_owned_edges=n_owned_edges,
         n_owned_vertices=n_owned_vertices,
+        cell_rings=cell_rings,
+        edge_rings=edge_rings,
     )

@@ -14,13 +14,31 @@ because each worker executes the exact per-rank kernel sequence of the
 lockstep runner on an identical :class:`~repro.parallel.halo.LocalMesh`,
 and the halo exchange moves values by pure slice copies through a
 :class:`~repro.parallel.shm.SharedState` segment at exactly the Algorithm-1
-synchronization points.  Each exchange is a two-phase barrier:
+synchronization points.
+
+Under the default static schedule
+(``SWConfig(halo_schedule="static")``) each of the 8 sync points is a
+two-phase barrier:
 
 1. every rank publishes its owned slices into the shared segment, then
    waits (no rank may read a halo that is still being written);
 2. every rank refreshes its halo slices from the segment, then waits
    (no rank may start publishing the *next* exchange while another is
    still reading this one).
+
+Under ``halo_schedule="dataflow"`` the pool runs the comm-avoiding
+schedule derived from the step graph
+(:func:`repro.dataflow.schedule.derive_halo_schedule`): sync points whose
+halo the graph proves clean are skipped outright, the surviving ones move
+only the variables and halo rings the schedule names, and the global
+barrier is replaced by the publish/acknowledge counters of a
+:class:`~repro.parallel.shm.SyncBoard` over a double-buffered segment.
+Each kept exchange is split around compute — a rank publishes its owned
+slices the moment the substate exists, runs the RK accumulation (and,
+under fused plans, the interior diagnostics of
+:func:`repro.engine.plan.compiled_overlap`) while its peers drain the
+exchange, and acquires its halo only at the last read point.  The owned
+state stays bitwise identical to the serial run in both modes.
 
 Worker death (a crashed process, an ``os._exit`` mid-step) is recoverable:
 surviving workers time out of the broken barrier and report back, the
@@ -44,6 +62,7 @@ import time
 
 import numpy as np
 
+from ..dataflow.schedule import halo_schedule_for
 from ..mesh.mesh import Mesh
 from ..obs.metrics import MetricsRegistry, get_registry, set_registry
 from ..obs.trace import Tracer, get_tracer, set_tracer, trace_span
@@ -58,14 +77,24 @@ from ..swm.timestep import (
     compute_next_substep_state,
 )
 from ..swm.tendencies import compute_tend
-from .halo import build_local_mesh, exchange_bytes, halo_layers_required
+from .halo import (
+    build_local_mesh,
+    exchange_bytes,
+    halo_layers_required,
+    ring_halo_indices,
+    schedule_exchange_bytes,
+)
 from .partition import partition_cells
 from .runner import gathered_run_result
-from .shm import SharedState
+from .shm import SharedState, SyncBoard
 
 __all__ = ["PoolShallowWater", "WorkerPoolError"]
 
 #: Seconds a worker waits at an exchange barrier before declaring it broken.
+#: Under the dataflow schedule this is a *floor*: the effective timeout is
+#: ``max(DEFAULT_BARRIER_TIMEOUT, TIMEOUT_SAFETY * slowest observed compute
+#: interval)``, so a long interior-overlap window on a loaded machine never
+#: false-triggers the worker-death recovery.
 DEFAULT_BARRIER_TIMEOUT = 120.0
 
 
@@ -107,16 +136,177 @@ def _worker_step(exchange, lm, state, diag, b_cell, f_vertex, config):
     return acc, diag
 
 
+class _DataflowSync:
+    """Worker-side driver of one rank's schedule-derived halo exchanges.
+
+    Each kept sync point is split into a *publish* half (:meth:`begin`)
+    and an *acquire* half (:meth:`finish`) so the caller can slot compute
+    between them; a point the schedule elides returns ``None`` from
+    :meth:`begin` and costs nothing.  Moved bytes and wait/overlap seconds
+    feed the ``halo.*`` counters, plus one ``halo.sync`` span per
+    exchange.
+    """
+
+    #: Multiplier on the slowest observed compute interval of any rank
+    #: when deriving the effective sync timeout (see :meth:`_timeout`).
+    TIMEOUT_SAFETY = 4.0
+
+    def __init__(
+        self, rank, shared, board, timeout, lm, schedule, providers, consumers
+    ):
+        self.rank = rank
+        self.shared = shared
+        self.board = board
+        self.base_timeout = float(timeout)
+        self.lm = lm
+        self.providers = providers
+        self.consumers = consumers
+        self.seq = 0  # kept exchanges completed since the last global load
+        self.points: dict[str, tuple] = {}
+        for p in schedule.points:
+            cell_idx, edge_idx = ring_halo_indices(lm, p.rings)
+            nbytes = 8.0 * (
+                (cell_idx.size if "h" in p.fields else 0)
+                + (edge_idx.size if "u" in p.fields else 0)
+            )
+            self.points[p.name] = (p.fields, cell_idx, edge_idx, nbytes)
+        registry = get_registry()
+        self._bytes = registry.counter("halo.bytes", mode="pool")
+        self._exchanges = registry.counter("halo.exchanges", mode="pool")
+        self._wait_s = registry.counter("halo.wait_s", mode="pool")
+        self._overlap_s = registry.counter("halo.overlap_s", mode="pool")
+
+    def _timeout(self) -> float:
+        # A sync is declared broken only after the slowest rank has had
+        # several times its worst observed compute interval to arrive: a
+        # long interior-overlap window must never read as a dead peer.
+        # Cross-rank maximum, because a fast rank cannot observe how long
+        # its slowest peer legitimately computes between sync points.
+        return max(
+            self.base_timeout, self.TIMEOUT_SAFETY * self.board.max_observed()
+        )
+
+    def begin(self, name: str, state):
+        """Publish ``state``'s owned slices for sync point ``name``.
+
+        Returns an opaque token for :meth:`finish`, or ``None`` when the
+        schedule elides the point.  Blocks only until the target buffer's
+        previous occupant is drained by every consumer of this rank.
+        """
+        entry = self.points.get(name)
+        if entry is None:
+            return None
+        self.seq += 1
+        t0 = time.perf_counter()
+        self.board.await_acked(
+            self.consumers, self.seq - self.shared.n_buffers, self._timeout()
+        )
+        self.shared.publish_owned(self.lm, state, seq=self.seq, fields=entry[0])
+        self.board.mark_published(self.rank, self.seq)
+        return (name, state, self.seq, t0, time.perf_counter())
+
+    def finish(self, token) -> None:
+        """Acquire the peers' slices: refresh the halo of ``begin``'s state."""
+        name, state, seq, t0, t_pub = token
+        fields, cell_idx, edge_idx, nbytes = self.points[name]
+        t1 = time.perf_counter()
+        self.board.await_published(self.providers, seq, self._timeout())
+        self.shared.refresh_halo(
+            self.lm, state, seq=seq, fields=fields,
+            cell_idx=cell_idx, edge_idx=edge_idx,
+        )
+        self.board.mark_acked(self.rank, seq)
+        t2 = time.perf_counter()
+        wait = (t_pub - t0) + (t2 - t1)
+        overlap = t1 - t_pub
+        self._bytes.inc(nbytes)
+        self._exchanges.inc()
+        self._wait_s.inc(wait)
+        self._overlap_s.inc(overlap)
+        tracer = get_tracer()
+        if tracer.enabled:
+            end = tracer.now()
+            tracer.add_span(
+                "halo.sync", end - (t2 - t0), end, category="halo",
+                sync=name, vars=",".join(fields), bytes_est=nbytes,
+                wait_s=round(wait, 9), overlap_s=round(overlap, 9),
+            )
+
+
+def _overlapped_diagnostics(sync, token, overlap, lm, state, f_vertex, config):
+    """Diagnostics of a just-exchanged substate, overlapped when possible.
+
+    ``token`` is the in-flight exchange from :meth:`_DataflowSync.begin`
+    (``None`` when the schedule elided the point — the halo is provably
+    clean and the plain kernel runs directly).  With a compiled overlap
+    program the interior rows are computed on the stale halo *while peers
+    drain the exchange*, then the boundary rows are recomputed after the
+    thin acquire — bitwise identical to refresh-then-full-compute.
+    """
+    if token is None:
+        return compute_solve_diagnostics(lm, state, f_vertex, config)
+    if overlap is None:
+        sync.finish(token)
+        return compute_solve_diagnostics(lm, state, f_vertex, config)
+    diag, ctx = overlap.interior(state, f_vertex)
+    sync.finish(token)
+    overlap.boundary(ctx)
+    return diag
+
+
+def _worker_step_dataflow(sync, overlap, lm, state, diag, b_cell, f_vertex, config):
+    """One RK-4 step under the dataflow halo schedule (worker side).
+
+    The same kernel sequence as :func:`_worker_step`, reordered around the
+    kept sync points: each post-substep exchange publishes as soon as the
+    substate exists, the RK accumulation (independent of the exchange)
+    and the interior diagnostics run inside the overlap window, and the
+    halo is acquired at the last point before its values could be read.
+    """
+    dt = config.dt
+    provis = state.copy()
+    provis_diag = diag
+    acc = state.copy()
+    for stage in range(4):
+        token = sync.begin(f"pre@s{stage + 1}", provis)
+        if token is not None:
+            sync.finish(token)
+        tend_h, tend_u = compute_tend(lm, provis, provis_diag, b_cell, config)
+        if stage < 3:
+            provis = compute_next_substep_state(
+                state, tend_h, tend_u, RK_SUBSTEP_WEIGHTS[stage] * dt
+            )
+            token = sync.begin(f"post@s{stage + 1}", provis)
+            accumulative_update(
+                acc, tend_h, tend_u, RK_ACCUMULATE_WEIGHTS[stage] * dt
+            )
+            provis_diag = _overlapped_diagnostics(
+                sync, token, overlap, lm, provis, f_vertex, config
+            )
+        else:
+            accumulative_update(
+                acc, tend_h, tend_u, RK_ACCUMULATE_WEIGHTS[stage] * dt
+            )
+            token = sync.begin("post@s4", acc)
+            diag = _overlapped_diagnostics(
+                sync, token, overlap, lm, acc, f_vertex, config
+            )
+    return acc, diag
+
+
 def _worker_main(
     rank: int,
     conn,
     shared: SharedState,
     barrier,
+    board: SyncBoard | None,
     barrier_timeout: float,
     lm,
     b_cell: np.ndarray,
     f_vertex: np.ndarray,
     config: SWConfig,
+    schedule,
+    neighbors: tuple[np.ndarray, np.ndarray],
     trace_enabled: bool,
     kill_at_step: int | None,
 ) -> None:
@@ -128,8 +318,14 @@ def _worker_main(
     segment (post-recovery resynchronization); ``("obs",)`` ship-and-clear
     this worker's metrics snapshot and finished tracer spans;
     ``("gather",)`` ship the owned state slices; ``("stop",)`` exit.
+
+    ``board is None`` selects the static barrier path; otherwise the
+    dataflow :class:`_DataflowSync` drives the kept sync points of
+    ``schedule`` against the ``neighbors = (providers, consumers)`` rank
+    sets.
     """
     from ..engine import default_registry
+    from ..engine.split import placements_active
     from ..resilience.recovery import use_recovery_policy
 
     # Private per-process observability: never double-count series that
@@ -139,21 +335,52 @@ def _worker_main(
     default_registry()  # per-process registry, built (or inherited) up front
 
     registry = get_registry()
-    bytes_per_exchange = 8.0 * (lm.n_halo_cells + lm.n_halo_edges)
-    halo_bytes = registry.counter("halo.bytes", mode="pool")
-    halo_exchanges = registry.counter("halo.exchanges", mode="pool")
     steps_done = registry.counter("pool.worker.steps")
 
-    def exchange(state_):
-        with trace_span(
-            "halo_exchange", category="halo", bytes_est=bytes_per_exchange
-        ):
-            _worker_exchange(shared, lm, barrier, barrier_timeout, state_)
-        halo_bytes.inc(bytes_per_exchange)
-        halo_exchanges.inc()
+    if board is not None:
+        sync = _DataflowSync(
+            rank, shared, board, barrier_timeout, lm, schedule, *neighbors
+        )
+        overlap = None
+        if config.plan and not placements_active():
+            # Fused-plan ranks split diagnostics into interior + boundary
+            # around each acquire; split placements fall back to the plain
+            # acquire-then-compute path (plans bypass routing entirely).
+            from ..engine.plan import compiled_overlap
 
+            rings = max(p.rings for p in schedule.points)
+            overlap = compiled_overlap(lm, config, rings)
+
+        def do_step(state_, diag_):
+            return _worker_step_dataflow(
+                sync, overlap, lm, state_, diag_, b_cell, f_vertex, config
+            )
+    else:
+        sync = None
+        bytes_per_exchange = 8.0 * (lm.n_halo_cells + lm.n_halo_edges)
+        halo_bytes = registry.counter("halo.bytes", mode="pool")
+        halo_exchanges = registry.counter("halo.exchanges", mode="pool")
+
+        def exchange(state_):
+            with trace_span(
+                "halo_exchange", category="halo", bytes_est=bytes_per_exchange
+            ):
+                _worker_exchange(shared, lm, barrier, barrier_timeout, state_)
+            halo_bytes.inc(bytes_per_exchange)
+            halo_exchanges.inc()
+
+        def do_step(state_, diag_):
+            return _worker_step(
+                exchange, lm, state_, diag_, b_cell, f_vertex, config
+            )
+
+    t_diag = time.perf_counter()
     state = shared.read_local(lm)
     diag = compute_solve_diagnostics(lm, state, f_vertex, config)
+    if board is not None:
+        # Seed the adaptive-timeout estimate before any peer can wait on
+        # this rank: the startup diagnostics is one full compute interval.
+        board.observe(rank, time.perf_counter() - t_diag)
     step_no = 0
     conn.send(("ready", rank))
     with use_recovery_policy(config.recovery_policy()):
@@ -167,10 +394,11 @@ def _worker_main(
                         step_no += 1
                         if kill_at_step is not None and step_no == kill_at_step:
                             os._exit(3)  # simulated worker crash (tests)
+                        t_step = time.perf_counter()
                         with trace_span("pool_step", category="pool", step=step_no):
-                            state, diag = _worker_step(
-                                exchange, lm, state, diag, b_cell, f_vertex, config,
-                            )
+                            state, diag = do_step(state, diag)
+                        if board is not None:
+                            board.observe(rank, time.perf_counter() - t_step)
                         steps_done.inc()
                     conn.send(("ok", n))
                 except threading.BrokenBarrierError:
@@ -179,6 +407,8 @@ def _worker_main(
                 state = shared.read_local(lm)
                 diag = compute_solve_diagnostics(lm, state, f_vertex, config)
                 step_no = msg[1]
+                if sync is not None:
+                    sync.seq = 0  # the board was reset with the reload
                 kill_at_step = None  # a test kill fires at most once per spawn
                 conn.send(("loaded", rank))
             elif cmd == "obs":
@@ -203,6 +433,8 @@ def _worker_main(
                 conn.send(("error", f"unknown command {cmd!r}"))
                 break
     shared.close()
+    if board is not None:
+        board.close()
     conn.close()
 
 
@@ -253,8 +485,17 @@ class PoolShallowWater:
         else:
             self.f_vertex = config.coriolis(mesh.metrics.latVertex)
 
-        self._shared = SharedState.create(mesh.nCells, mesh.nEdges)
+        #: The halo schedule every rank executes (static or dataflow).
+        self.schedule = halo_schedule_for(config)
+        dataflow = self.schedule.mode == "dataflow"
+
+        self._shared = SharedState.create(
+            mesh.nCells, mesh.nEdges, n_buffers=2 if dataflow else 1
+        )
         self._shared.write_global(global_state.h, global_state.u)
+        # Kept exchanges completed since the last global load: selects the
+        # buffer holding the committed state (`seq % n_buffers`).
+        self._exchanges_done = 0
         self._snapshot = self._shared.read_global()
 
         methods = multiprocessing.get_all_start_methods()
@@ -262,6 +503,10 @@ class PoolShallowWater:
             "fork" if "fork" in methods else "spawn"
         )
         self._barrier = self._ctx.Barrier(n_ranks)
+        self._board = SyncBoard.create(n_ranks, self._ctx) if dataflow else None
+        self._neighbors = self._neighbor_ranks() if dataflow else [
+            (np.empty(0, np.int64), np.empty(0, np.int64))
+        ] * n_ranks
         self._workers: list = [None] * n_ranks
         self._conns: list = [None] * n_ranks
         self._closed = False
@@ -273,6 +518,14 @@ class PoolShallowWater:
         registry.gauge(
             "halo.bytes_per_exchange", ranks=n_ranks, mode="pool"
         ).set(self._bytes_per_exchange)
+        registry.gauge(
+            "halo.exchanges_per_step", ranks=n_ranks, mode="pool",
+            schedule=self.schedule.mode,
+        ).set(self.schedule.exchanges_per_step)
+        registry.gauge(
+            "halo.bytes_per_step", ranks=n_ranks, mode="pool",
+            schedule=self.schedule.mode,
+        ).set(schedule_exchange_bytes(self.local_meshes, self.schedule))
         self._respawns = registry.counter("resilience.pool.respawn", ranks=n_ranks)
         self._retries = registry.counter(
             "resilience.recovery.retry", site="pool.step", ranks=n_ranks
@@ -283,17 +536,48 @@ class PoolShallowWater:
             self._spawn(r, kill_at.get(r))
         self._await("ready", range(n_ranks))
 
+    def _neighbor_ranks(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-rank ``(providers, consumers)`` sets for the sync board.
+
+        ``providers[r]`` are the ranks owning any of rank *r*'s halo
+        points (whose publishes *r* must await before reading);
+        ``consumers[r]`` are the ranks whose halo includes any of *r*'s
+        owned points (whose acks *r* must await before overwriting a
+        buffer).  Computed at the full halo depth, which bounds every
+        ring-limited subset a schedule can refresh.
+        """
+        edge_owner = np.full(self.mesh.nEdges, -1, dtype=np.int64)
+        for r, lm in enumerate(self.local_meshes):
+            edge_owner[lm.edges_global[: lm.n_owned_edges]] = r
+        providers: list[np.ndarray] = []
+        for r, lm in enumerate(self.local_meshes):
+            owners = np.concatenate([
+                self.owner[lm.cells_global[lm.n_owned_cells :]],
+                edge_owner[lm.edges_global[lm.n_owned_edges :]],
+            ])
+            owners = np.unique(owners[(owners >= 0) & (owners != r)])
+            providers.append(owners.astype(np.int64))
+        consumers = [
+            np.array(
+                [q for q in range(self.n_ranks) if r in providers[q]],
+                dtype=np.int64,
+            )
+            for r in range(self.n_ranks)
+        ]
+        return [(providers[r], consumers[r]) for r in range(self.n_ranks)]
+
     # ----------------------------------------------------------- process mgmt
     def _spawn(self, rank: int, kill_at_step: int | None = None) -> None:
         parent_conn, child_conn = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=_worker_main,
             args=(
-                rank, child_conn, self._shared, self._barrier,
+                rank, child_conn, self._shared, self._barrier, self._board,
                 self.barrier_timeout, self.local_meshes[rank],
                 self.b_cell[self.local_meshes[rank].cells_global],
                 self.f_vertex[self.local_meshes[rank].vertices_global],
-                self.config, get_tracer().enabled, kill_at_step,
+                self.config, self.schedule, self._neighbors[rank],
+                get_tracer().enabled, kill_at_step,
             ),
             daemon=True,
             name=f"repro-pool-rank{rank}",
@@ -341,7 +625,10 @@ class PoolShallowWater:
             proc.join(timeout=10.0)
             self._conns[r].close()
         self._barrier.reset()
+        if self._board is not None:
+            self._board.reset()
         self._shared.write_global(*self._snapshot)
+        self._exchanges_done = 0
         for r in set(dead):
             self._respawns.inc()
             self._spawn(r)
@@ -398,15 +685,16 @@ class PoolShallowWater:
             self._recover(dead)
         self._steps_done += steps
         # Every exchange of the batch completed on every rank; the final
-        # exchange published each rank's accepted state, so the shared
-        # segment now holds the committed global state.
-        self.exchange_count += 8 * steps
-        self._snapshot = self._shared.read_global()
+        # exchange published each rank's accepted state, so the buffer of
+        # the last exchange now holds the committed global state.
+        self._exchanges_done += self.schedule.exchanges_per_step * steps
+        self.exchange_count += self.schedule.exchanges_per_step * steps
+        self._snapshot = self._shared.read_global(self._exchanges_done)
 
     # ------------------------------------------------------------- gathering
     def gather_state(self) -> State:
         """The global state assembled in the shared segment (private copy)."""
-        h, u = self._shared.read_global()
+        h, u = self._shared.read_global(self._exchanges_done)
         return State(h=h, u=u)
 
     def _merge_observability(self) -> None:
@@ -450,6 +738,9 @@ class PoolShallowWater:
                 pass
         self._shared.close()
         self._shared.unlink()
+        if self._board is not None:
+            self._board.close()
+            self._board.unlink()
 
     def __enter__(self) -> "PoolShallowWater":
         return self

@@ -38,7 +38,15 @@ from ..swm.timestep import (
     accumulative_update,
     compute_next_substep_state,
 )
-from .halo import LocalMesh, build_local_mesh, exchange_bytes, halo_layers_required
+from ..dataflow.schedule import HaloSchedule, halo_schedule_for
+from .halo import (
+    LocalMesh,
+    build_local_mesh,
+    exchange_bytes,
+    halo_layers_required,
+    ring_halo_indices,
+    schedule_exchange_bytes,
+)
 from .partition import partition_cells
 
 __all__ = ["DecomposedShallowWater", "gathered_run_result"]
@@ -144,10 +152,27 @@ class DecomposedShallowWater:
                 )
             )
         self.exchange_count = 0
+        self.schedule = halo_schedule_for(config)
+        meshes = [rd.mesh for rd in self.ranks]
+        # Refresh index sets per kept sync point (ring-limited under the
+        # dataflow schedule; the static schedule keeps the full-slice path).
+        self._sync_idx: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+        self._sync_bytes: dict[str, float] = {}
+        for point in self.schedule.points:
+            self._sync_idx[point.name] = [
+                ring_halo_indices(lm, point.rings) for lm in meshes
+            ]
+            self._sync_bytes[point.name] = schedule_exchange_bytes(
+                meshes, HaloSchedule(mode=self.schedule.mode, points=(point,))
+            )
+        #: Oracle hook for the schedule-soundness test: a ``(sync, field)``
+        #: pair whose halo refresh is skipped — a needed refresh then shows
+        #: up as an owned-state diff against serial.
+        self._skip_refresh: tuple[str, str] | None = None
         # Per-exchange payload is fixed by the decomposition; cache the
         # counter series so the hot path pays two adds per exchange.
         registry = get_registry()
-        self._bytes_per_exchange = exchange_bytes([rd.mesh for rd in self.ranks])
+        self._bytes_per_exchange = exchange_bytes(meshes)
         self._halo_bytes = registry.counter("halo.bytes", ranks=n_ranks)
         self._halo_exchanges = registry.counter("halo.exchanges", ranks=n_ranks)
         registry.gauge("halo.bytes_per_exchange", ranks=n_ranks).set(
@@ -155,11 +180,18 @@ class DecomposedShallowWater:
         )
 
     # ------------------------------------------------------------- exchange
-    def _exchange(self, states: list[State]) -> None:
+    def _exchange(self, states: list[State], sync: str = "") -> None:
         """Refresh halo values of ``h``/``u`` from their owning ranks.
 
-        Each exchange is one ``halo.exchange`` fault site (a dropped MPI
-        message).  A faulted exchange is re-attempted up to
+        ``sync`` names the Algorithm-1 synchronization point; under the
+        dataflow :class:`~repro.dataflow.schedule.HaloSchedule` an elided
+        point returns immediately (no exchange, no fault site) and a kept
+        point refreshes only the fields it names, ring-limited to its
+        depth.  The static schedule (and a call without ``sync``) keeps the
+        full-slice refresh of every halo point.
+
+        Each executed exchange is one ``halo.exchange`` fault site (a
+        dropped MPI message).  A faulted exchange is re-attempted up to
         ``RecoveryPolicy.halo_retries`` times with exponential backoff; the
         simulated backoff seconds are accounted into the
         ``resilience.halo.backoff_s`` counter so the scaling step model can
@@ -167,6 +199,10 @@ class DecomposedShallowWater:
         fault propagates — a halo the ranks never agree on is not
         recoverable by degradation.
         """
+        point = self.schedule.entry(sync) if sync else None
+        if sync and point is None:
+            return  # elided by the dataflow schedule: provably clean
+        thin = point is not None and self.schedule.mode == "dataflow"
         attempt = 0
         while True:
             try:
@@ -185,9 +221,16 @@ class DecomposedShallowWater:
                     "resilience.halo.backoff_s", ranks=self.n_ranks
                 ).inc(policy.halo_backoff_s * 2.0**attempt)
                 attempt += 1
+        fields = point.fields if point is not None else ("h", "u")
+        skip = self._skip_refresh
+        if skip is not None and skip[0] == sync:
+            fields = tuple(f for f in fields if f != skip[1])
+        bytes_moved = (
+            self._sync_bytes[sync] if thin else self._bytes_per_exchange
+        )
         with trace_span(
-            "halo_exchange", category="halo",
-            ranks=self.n_ranks, bytes_est=self._bytes_per_exchange,
+            "halo_exchange", category="halo", sync=sync or "full",
+            ranks=self.n_ranks, bytes_est=bytes_moved,
         ):
             gh = np.empty(self.mesh.nCells)
             gu = np.empty(self.mesh.nEdges)
@@ -195,12 +238,21 @@ class DecomposedShallowWater:
                 lm = rd.mesh
                 gh[lm.cells_global[: lm.n_owned_cells]] = st.h[: lm.n_owned_cells]
                 gu[lm.edges_global[: lm.n_owned_edges]] = st.u[: lm.n_owned_edges]
-            for rd, st in zip(self.ranks, states):
+            for r, (rd, st) in enumerate(zip(self.ranks, states)):
                 lm = rd.mesh
-                st.h[lm.n_owned_cells :] = gh[lm.cells_global[lm.n_owned_cells :]]
-                st.u[lm.n_owned_edges :] = gu[lm.edges_global[lm.n_owned_edges :]]
+                if thin:
+                    cell_idx, edge_idx = self._sync_idx[sync][r]
+                    if "h" in fields:
+                        st.h[cell_idx] = gh[lm.cells_global[cell_idx]]
+                    if "u" in fields:
+                        st.u[edge_idx] = gu[lm.edges_global[edge_idx]]
+                else:
+                    if "h" in fields:
+                        st.h[lm.n_owned_cells :] = gh[lm.cells_global[lm.n_owned_cells :]]
+                    if "u" in fields:
+                        st.u[lm.n_owned_edges :] = gu[lm.edges_global[lm.n_owned_edges :]]
         self.exchange_count += 1
-        self._halo_bytes.inc(self._bytes_per_exchange)
+        self._halo_bytes.inc(bytes_moved)
         self._halo_exchanges.inc()
 
     # ----------------------------------------------------------------- step
@@ -212,7 +264,7 @@ class DecomposedShallowWater:
         acc = [rd.state.copy() for rd in self.ranks]
 
         for stage in range(4):
-            self._exchange(provis)
+            self._exchange(provis, sync=f"pre@s{stage + 1}")
             tends = [
                 compute_tend(rd.mesh, pv, pd, rd.b_cell, self.config)
                 for rd, pv, pd in zip(self.ranks, provis, provis_diag)
@@ -226,13 +278,13 @@ class DecomposedShallowWater:
                     )
                     for rd, (th, tu) in zip(self.ranks, tends)
                 ]
-                self._exchange(provis)
+                self._exchange(provis, sync=f"post@s{stage + 1}")
                 provis_diag = [
                     compute_solve_diagnostics(rd.mesh, pv, rd.f_vertex, self.config)
                     for rd, pv in zip(self.ranks, provis)
                 ]
             else:
-                self._exchange(acc)
+                self._exchange(acc, sync="post@s4")
                 for rd, a in zip(self.ranks, acc):
                     rd.diag = compute_solve_diagnostics(
                         rd.mesh, a, rd.f_vertex, self.config

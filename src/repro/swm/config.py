@@ -104,6 +104,14 @@ class SWConfig:
     #: ``"algebraic"`` additionally composes linear-operator chains into
     #: single matrices (equivalent to ~1e-12, not bitwise).
     plan_fuse: str = "exact"
+    #: Halo synchronization schedule of the decomposed modes: ``"static"``
+    #: executes all 8 Algorithm-1 sync points with full payloads (the
+    #: bitwise-proven escape hatch); ``"dataflow"`` runs the comm-avoiding
+    #: schedule derived from the step graph by
+    #: :func:`repro.dataflow.schedule.derive_halo_schedule` — provably-clean
+    #: sync points are elided and the rest ship only the dirty variables.
+    #: Both produce bitwise-identical owned state.
+    halo_schedule: str = "static"
     parallel: str = "serial"
     ranks: int = 1
     backend_retries: int = 1
@@ -120,6 +128,9 @@ class SWConfig:
 
     #: Execution modes accepted by :attr:`parallel`.
     PARALLEL_MODES = ("serial", "lockstep", "pool")
+
+    #: Halo schedules accepted by :attr:`halo_schedule`.
+    HALO_SCHEDULES = ("static", "dataflow")
 
     def __post_init__(self) -> None:
         self.validate()
@@ -158,6 +169,11 @@ class SWConfig:
         ):
             if getattr(self, name) < 0.0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)!r}")
+        if self.halo_schedule not in self.HALO_SCHEDULES:
+            raise ValueError(
+                f"halo_schedule must be one of {self.HALO_SCHEDULES}, "
+                f"got {self.halo_schedule!r}"
+            )
         if self.parallel not in self.PARALLEL_MODES:
             raise ValueError(
                 f"parallel must be one of {self.PARALLEL_MODES}, "

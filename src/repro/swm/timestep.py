@@ -133,8 +133,10 @@ class RK4Integrator:
             compiled_plan(mesh, config, registry=registry)
 
     # The halo-exchange hook lets the distributed driver reuse this exact
-    # integrator; serial runs leave it as a no-op.
-    def exchange_halo(self, state: State) -> None:  # pragma: no cover - hook
+    # integrator; serial runs leave it as a no-op.  ``sync`` names the
+    # Algorithm-1 synchronization point (``"pre@s1"`` .. ``"post@s4"``) so
+    # a schedule-aware runner can elide or thin the exchange per point.
+    def exchange_halo(self, state: State, sync: str = "") -> None:  # pragma: no cover - hook
         """Overridden by the distributed runner; no-op in serial."""
 
     def diagnostics_for(self, state: State) -> Diagnostics:
@@ -157,7 +159,7 @@ class RK4Integrator:
         backend = self.config.backend
         new_diag: Diagnostics | None = None
         for stage in range(4):
-            self.exchange_halo(provis)
+            self.exchange_halo(provis, sync=f"pre@s{stage + 1}")
             with kernel_span("compute_tend", stage=stage, backend=backend):
                 tend_h, tend_u = self._compute_tend(
                     self.mesh, provis, provis_diag, self.b_cell, self.config
@@ -175,7 +177,7 @@ class RK4Integrator:
                     provis = self._compute_next_substep_state(
                         state, tend_h, tend_u, RK_SUBSTEP_WEIGHTS[stage] * dt
                     )
-                self.exchange_halo(provis)
+                self.exchange_halo(provis, sync=f"post@s{stage + 1}")
                 with kernel_span(
                     "compute_solve_diagnostics", stage=stage, backend=backend
                 ):
@@ -183,7 +185,7 @@ class RK4Integrator:
                         self.mesh, provis, self.f_vertex, self.config
                     )
             else:
-                self.exchange_halo(acc)
+                self.exchange_halo(acc, sync="post@s4")
                 with kernel_span(
                     "compute_solve_diagnostics", stage=stage, backend=backend
                 ):

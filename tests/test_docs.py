@@ -21,6 +21,7 @@ DOCTESTED = [
     "backends.md",
     "resilience.md",
     "plans.md",
+    "parallel.md",
 ]
 
 

@@ -9,6 +9,10 @@ by bounded respawn without perturbing a single bit.
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -23,10 +27,12 @@ from repro.parallel import (
     build_local_mesh,
     partition_cells,
 )
+from repro.parallel.shm import SyncBoard
 from repro.swm import (
     ShallowWaterModel,
     State,
     SWConfig,
+    galewsky_jet,
     isolated_mountain,
     steady_zonal_flow,
     suggested_dt,
@@ -223,3 +229,214 @@ class TestPoolObservability:
         # every rank contributed its 8-per-step exchange count
         assert exchanges == {0: 16.0, 1: 16.0}
         assert span_ranks == {0, 1}
+
+
+class TestSharedStateBuffers:
+    def test_double_buffer_parity_and_global_write(self, rng):
+        shared = SharedState.create(8, 4, n_buffers=2)
+        try:
+            h = rng.standard_normal(8)
+            u = rng.standard_normal(4)
+            shared.write_global(h, u)  # seeds *every* buffer
+            for seq in range(4):
+                rh, ru = shared.read_global(seq)
+                assert np.array_equal(rh, h) and np.array_equal(ru, u)
+
+            # buffers at even/odd parity are distinct storage
+            h0, _ = shared.buffer(0)
+            h1, _ = shared.buffer(1)
+            h1[:] = -1.0
+            assert np.array_equal(h0, h)
+            assert np.array_equal(shared.buffer(3)[0], h1)
+            assert np.array_equal(shared.buffer(2)[0], h0)
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_pickle_preserves_buffer_count(self):
+        import pickle
+
+        shared = SharedState.create(6, 3, n_buffers=2)
+        try:
+            clone = pickle.loads(pickle.dumps(shared))
+            assert clone.n_buffers == 2
+            clone.close()
+        finally:
+            shared.close()
+            shared.unlink()
+
+
+class TestSyncBoard:
+    @pytest.fixture()
+    def board(self):
+        b = SyncBoard.create(3, multiprocessing.get_context("fork"))
+        yield b
+        b.close()
+        b.unlink()
+
+    def test_publish_ack_progress(self, board):
+        ranks = np.array([1, 2], dtype=np.int64)
+        # nothing published yet: sequence 0 and empty rank sets never block
+        board.await_published(np.empty(0, np.int64), 5, timeout=0.1)
+        board.await_acked(ranks, 0, timeout=0.1)
+
+        board.mark_published(1, 1)
+        board.mark_published(2, 1)
+        board.await_published(ranks, 1, timeout=0.5)
+        board.mark_acked(1, 1)
+        board.mark_acked(2, 1)
+        board.await_acked(ranks, 1, timeout=0.5)
+
+    def test_timeout_raises_broken_barrier(self, board):
+        with pytest.raises(threading.BrokenBarrierError, match="timed out"):
+            board.await_published(np.array([2], np.int64), 1, timeout=0.05)
+
+    def test_unblocks_cross_process(self, board):
+        ctx = multiprocessing.get_context("fork")
+
+        def peer(b):
+            time.sleep(0.1)
+            b.mark_published(2, 7)
+
+        p = ctx.Process(target=peer, args=(board,))
+        p.start()
+        try:
+            board.await_published(np.array([2], np.int64), 7, timeout=5.0)
+        finally:
+            p.join()
+        assert board.pub[2] == 7
+
+    def test_reset_clears_progress_but_keeps_observations(self, board):
+        board.mark_published(0, 3)
+        board.mark_acked(1, 2)
+        board.observe(0, 0.5)
+        board.observe(2, 1.5)
+        board.reset()
+        assert np.all(board.pub == 0) and np.all(board.ack == 0)
+        # observed step times survive: the adaptive timeout must not
+        # forget how slow this machine is just because a worker died
+        assert board.max_observed() == pytest.approx(1.5)
+        board.observe(2, 0.2)  # max-tracked, never shrinks
+        assert board.max_observed() == pytest.approx(1.5)
+
+
+class TestPoolDataflow:
+    """The ISSUE acceptance gate: pool under the dataflow halo schedule is
+    bitwise identical to serial on every backend while exchanging half the
+    sync points."""
+
+    @pytest.mark.parametrize(
+        "backend_kw",
+        [
+            dict(),
+            dict(backend="sparse"),
+            dict(backend="sparse", plan=True),
+        ],
+        ids=["numpy", "sparse", "plan"],
+    )
+    def test_galewsky_bitwise_equal_10_steps_4_ranks(self, mesh3, backend_kw):
+        case = galewsky_jet()
+        cfg = SWConfig(
+            dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.5),
+            thickness_adv_order=4,
+            halo_schedule="dataflow",
+            **backend_kw,
+        )
+        res = _serial(mesh3, case, cfg, steps=10)
+        with PoolShallowWater(mesh3, 4, case, cfg, barrier_timeout=TIMEOUT) as pool:
+            pres = pool.run(10)
+            assert pool.schedule.mode == "dataflow"
+            assert pool.exchange_count == pool.schedule.exchanges_per_step * 10
+            assert pool.exchange_count == 4 * 10  # static would be 8 * 10
+        assert np.array_equal(pres.state.h, res.state.h)
+        assert np.array_equal(pres.state.u, res.state.u)
+
+    def test_worker_death_recovers_bitwise_under_dataflow(self, mesh3):
+        case = steady_zonal_flow()
+        cfg = SWConfig(
+            dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.6),
+            backend="sparse",
+            plan=True,
+            halo_schedule="dataflow",
+        )
+        res = _serial(mesh3, case, cfg, steps=4)
+        with use_registry(MetricsRegistry()) as registry:
+            with PoolShallowWater(
+                mesh3, 2, case, cfg, barrier_timeout=5.0, kill_at={1: 2}
+            ) as pool:
+                pres = pool.run(4)
+            respawns = sum(
+                rec["value"]
+                for rec in registry.snapshot()
+                if rec["metric"] == "resilience.pool.respawn"
+            )
+        assert respawns >= 1
+        assert np.array_equal(pres.state.h, res.state.h)
+        assert np.array_equal(pres.state.u, res.state.u)
+
+    def test_halo_metrics_report_thinner_exchanges(self, mesh3):
+        case = steady_zonal_flow()
+        cfg = SWConfig(
+            dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.6),
+            halo_schedule="dataflow",
+        )
+        with use_registry(MetricsRegistry()) as registry:
+            with PoolShallowWater(
+                mesh3, 2, case, cfg, barrier_timeout=TIMEOUT
+            ) as pool:
+                pool.run(2)
+        snap = registry.snapshot()
+        exchanges = {
+            rec["tags"]["rank"]: rec["value"]
+            for rec in snap
+            if rec["metric"] == "halo.exchanges" and "rank" in rec["tags"]
+        }
+        assert exchanges == {0: 8.0, 1: 8.0}  # 4 per step, not 8
+        gauges = {
+            rec["metric"]: rec["value"]
+            for rec in snap
+            if rec["metric"].startswith("halo.") and "rank" not in rec["tags"]
+        }
+        assert gauges["halo.exchanges_per_step"] == 4.0
+        assert gauges["halo.bytes_per_step"] > 0.0
+
+
+class TestAdaptiveTimeout:
+    def test_slow_overlap_window_does_not_trigger_recovery(
+        self, mesh3, monkeypatch
+    ):
+        """Regression: a fixed barrier timeout false-triggered worker
+        recovery when one rank's compute window ran long.  The dataflow
+        sync scales its timeout by the slowest observed step across ranks,
+        so a deliberately skewed-slow rank must ride through a timeout that
+        is shorter than its own stage time — zero respawns, bitwise state.
+        """
+        import repro.parallel.pool as pool_mod
+
+        real = pool_mod.compute_solve_diagnostics
+
+        def skewed(lm, state, f_vertex, config):
+            time.sleep(0.25 * getattr(lm, "rank", 0))
+            return real(lm, state, f_vertex, config)
+
+        case = steady_zonal_flow()
+        cfg = SWConfig(
+            dt=suggested_dt(mesh3, case, GRAVITY, cfl=0.6),
+            halo_schedule="dataflow",
+        )
+        res = _serial(mesh3, case, cfg, steps=2)
+        # workers fork after the patch, so they inherit the skewed kernel
+        monkeypatch.setattr(pool_mod, "compute_solve_diagnostics", skewed)
+        with use_registry(MetricsRegistry()) as registry:
+            with PoolShallowWater(
+                mesh3, 3, case, cfg, barrier_timeout=0.2
+            ) as pool:
+                pres = pool.run(2)
+            respawns = sum(
+                rec["value"]
+                for rec in registry.snapshot()
+                if rec["metric"] == "resilience.pool.respawn"
+            )
+        assert respawns == 0
+        assert np.array_equal(pres.state.h, res.state.h)
+        assert np.array_equal(pres.state.u, res.state.u)
