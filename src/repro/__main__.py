@@ -31,9 +31,38 @@ def _cmd_mesh(args: argparse.Namespace) -> None:
     print(assess_quality(mesh).summary())
 
 
+def _chaos_plan(crash_at: int | None):
+    """The --chaos-crash-at fault plan (or an inert context manager)."""
+    import contextlib
+
+    if crash_at is None:
+        return contextlib.nullcontext()
+    from repro.resilience.faults import FaultPlan, FaultSpec, use_fault_plan
+
+    return use_fault_plan(FaultPlan([
+        FaultSpec(
+            "process.crash", at=(1,), action="kill",
+            match={"step": crash_at},
+        )
+    ]))
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
     from repro.api import SWConfig, build_mesh, error_norms, resolve_case, run, suggested_dt
     from repro.constants import GRAVITY
+
+    if args.resume is not None:
+        from repro.resilience.durable import ManifestError
+
+        try:
+            with _chaos_plan(args.chaos_crash_at):
+                result = run(resume=args.resume)
+        except ManifestError as exc:
+            raise SystemExit(str(exc)) from None
+        print(f"resumed durable run in {args.resume}")
+        print(f"  mass drift   = {result.mass_drift():.2e}")
+        print(f"  energy drift = {result.energy_drift():.2e}")
+        return
 
     raw = args.case
     try:
@@ -54,10 +83,16 @@ def _cmd_run(args: argparse.Namespace) -> None:
         parallel=args.parallel,
         ranks=args.ranks,
         halo_schedule=args.halo_schedule,
+        checkpoint_interval=args.checkpoint_interval,
     )
     if args.steps is None and args.days is None:
         args.days = case.suggested_days
-    result = run(case, mesh=mesh, config=config, steps=args.steps, days=args.days)
+    case_arg = int(raw) if str(raw).isdigit() else raw
+    with _chaos_plan(args.chaos_crash_at):
+        result = run(
+            case_arg, mesh=mesh, config=config,
+            steps=args.steps, days=args.days, run_dir=args.run_dir,
+        )
     print(
         f"TC{case.number} ({case.name}): {result.steps} steps of {dt:.0f} s "
         f"on {mesh.nCells} cells "
@@ -182,6 +217,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="halo synchronization schedule of the decomposed modes: "
         "static runs all 8 Algorithm-1 sync points; dataflow runs the "
         "comm-avoiding schedule derived from the step graph",
+    )
+    p.add_argument(
+        "--checkpoint-interval", type=int, default=0,
+        help="write a restart file every N steps (0 = off; durable runs "
+        "bump 0 to 1)",
+    )
+    p.add_argument(
+        "--run-dir", default=None,
+        help="make the run durable: checkpoints + a crash-consistent "
+        "manifest land in this directory, resumable with --resume",
+    )
+    p.add_argument(
+        "--resume", default=None,
+        help="continue the durable run in this directory (case/config/"
+        "steps come from its manifest; other run flags are ignored)",
+    )
+    p.add_argument(
+        "--chaos-crash-at", type=int, default=None,
+        help="chaos testing: SIGKILL this process when integration step N "
+        "starts (proves --resume continues bitwise-identically)",
     )
     p.set_defaults(func=_cmd_run)
 

@@ -119,7 +119,7 @@ def resolve_case(case: TestCase | str | int) -> TestCase:
 
 
 def run(
-    case: TestCase | str | int,
+    case: TestCase | str | int | None = None,
     mesh: Mesh | None = None,
     config: SWConfig | None = None,
     steps: int | None = None,
@@ -127,6 +127,8 @@ def run(
     level: int = 3,
     invariant_interval: int = 0,
     callback=None,
+    run_dir=None,
+    resume=None,
 ) -> RunResult:
     """Initialize, integrate and finalize one shallow-water run.
 
@@ -147,10 +149,36 @@ def run(
         :meth:`~repro.swm.model.ShallowWaterModel.run` (the decomposed
         executors record invariants at the endpoints only and reject a
         per-step callback).
+    run_dir : path-like, optional
+        Make the run *durable*: checkpoints land in this directory under a
+        crash-consistent manifest, so a killed run can be continued with
+        ``resume=`` — bitwise identically to never having been killed.
+        Requires ``case`` as a name/number (re-resolvable at resume time).
+    resume : path-like, optional
+        Continue the durable run in this directory to its recorded
+        horizon.  Everything (case, config, steps, state) is restored from
+        the directory; ``case``/``config``/``steps``/``days`` must be left
+        unset (an incompatible override raises
+        :class:`~repro.resilience.durable.ManifestError`).
 
     Returns the same :class:`RunResult` shape for every executor; the
     prognostic state is bitwise identical across all three modes.
     """
+    if resume is not None:
+        if case is not None or config is not None or steps is not None or days is not None:
+            raise ValueError(
+                "resume=... restores case/config/steps from the run "
+                "directory manifest; do not pass them"
+            )
+        from .resilience.durable import resume_durable
+
+        return resume_durable(
+            resume, mesh=mesh,
+            invariant_interval=invariant_interval, callback=callback,
+        )
+    if case is None:
+        raise ValueError("case is required (or pass resume=...)")
+    case_token = case if isinstance(case, (str, int)) else None
     case = resolve_case(case)
     if mesh is None:
         mesh = build_mesh(level)
@@ -164,6 +192,14 @@ def run(
         from .constants import SECONDS_PER_DAY
 
         steps = int(round(days * SECONDS_PER_DAY / config.dt))
+
+    if run_dir is not None:
+        from .resilience.durable import run_durable
+
+        return run_durable(
+            run_dir, case_token, mesh, config, steps,
+            invariant_interval=invariant_interval, callback=callback,
+        )
 
     if config.parallel == "serial":
         model = ShallowWaterModel(mesh, config)

@@ -78,6 +78,7 @@ import scipy.sparse as sp
 from ..mesh.cache import cache_dir
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
+from ..resilience.integrity import checked_load, seal
 from .sparse import (
     OPERATOR_CACHE_VERSION,
     SPARSE_FALLBACK_OPS,
@@ -258,8 +259,11 @@ def plan_cache_path(mesh, name: str) -> Path:
 
 
 def _load_composed(path: Path, fingerprint: str) -> sp.csr_matrix | None:
-    try:
-        with np.load(path) as d:
+    """``None`` on stale version/fingerprint (rebuild in place); a corrupt
+    archive is quarantined by the integrity layer (``kind=plan``)."""
+
+    def read(p: Path) -> sp.csr_matrix | None:
+        with np.load(p) as d:
             if "format_version" not in d.files or "plan_version" not in d.files:
                 return None
             if int(d["format_version"]) != OPERATOR_CACHE_VERSION:
@@ -271,8 +275,8 @@ def _load_composed(path: Path, fingerprint: str) -> sp.csr_matrix | None:
             return sp.csr_matrix(
                 (d["data"], d["indices"], d["indptr"]), shape=tuple(d["shape"])
             )
-    except (OSError, KeyError, ValueError):
-        return None
+
+    return checked_load(path, read, kind="plan")
 
 
 def _save_composed(path: Path, fingerprint: str, m: sp.csr_matrix) -> None:
@@ -288,6 +292,7 @@ def _save_composed(path: Path, fingerprint: str, m: sp.csr_matrix) -> None:
         shape=np.array(m.shape),
     )
     os.replace(tmp, path)
+    seal(path)
 
 
 def _composed_operator(mesh, name: str, build: Callable[[], sp.csr_matrix]):

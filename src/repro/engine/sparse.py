@@ -67,6 +67,7 @@ import scipy.sparse as sp
 
 from ..mesh.cache import cache_dir
 from ..mesh.mesh import Mesh
+from ..resilience.integrity import checked_load, seal
 
 __all__ = [
     "OPERATOR_CACHE_VERSION",
@@ -335,9 +336,13 @@ def clear_operator_memory_cache() -> None:
 
 
 def _load_operator(path: Path, fingerprint: str) -> sp.csr_matrix | None:
-    """Load one archive; ``None`` on any version/fingerprint/format mismatch."""
-    try:
-        with np.load(path) as d:
+    """Load one archive; ``None`` on a stale version/fingerprint (rebuild in
+    place) *or* on corruption — a damaged archive is quarantined by the
+    integrity layer (``resilience.cache.quarantined`` tagged
+    ``kind=operator``), never raised to the dispatch path."""
+
+    def read(p: Path) -> sp.csr_matrix | None:
+        with np.load(p) as d:
             if "format_version" not in d.files:
                 return None
             if int(d["format_version"]) != OPERATOR_CACHE_VERSION:
@@ -347,8 +352,8 @@ def _load_operator(path: Path, fingerprint: str) -> sp.csr_matrix | None:
             return sp.csr_matrix(
                 (d["data"], d["indices"], d["indptr"]), shape=tuple(d["shape"])
             )
-    except (OSError, KeyError, ValueError):
-        return None
+
+    return checked_load(path, read, kind="operator")
 
 
 def _save_operator(path: Path, fingerprint: str, m: sp.csr_matrix) -> None:
@@ -363,6 +368,7 @@ def _save_operator(path: Path, fingerprint: str, m: sp.csr_matrix) -> None:
         shape=np.array(m.shape),
     )
     os.replace(tmp, path)
+    seal(path)
 
 
 def sparse_operator(

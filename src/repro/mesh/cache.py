@@ -26,6 +26,7 @@ import os
 from pathlib import Path
 
 from ..constants import EARTH_RADIUS
+from ..resilience.integrity import checked_load, seal
 from .mesh import CACHE_FORMAT_VERSION, Mesh, MeshFormatError
 
 __all__ = [
@@ -86,19 +87,18 @@ def cached_mesh(
         return mesh
     path = mesh_cache_path(level, lloyd_iterations, radius)
     mesh = None
-    if use_disk and path.exists():
-        try:
-            mesh = Mesh.load(path)
-        except MeshFormatError:
-            # Written by an older Mesh layout: rebuild (and overwrite below)
-            # instead of loading a stale field set blindly.
-            mesh = None
+    if use_disk:
+        # Stale (older Mesh layout) rebuilds in place; a corrupt archive
+        # (truncated/bit-flipped npz) is quarantined and rebuilt — either
+        # way a bad cache entry is never fatal.
+        mesh = checked_load(path, Mesh.load, kind="mesh", stale=(MeshFormatError,))
     if mesh is None:
         mesh = Mesh.build(level, lloyd_iterations=lloyd_iterations, radius=radius)
         if use_disk:
             tmp = path.with_suffix(".tmp.npz")
             mesh.save(tmp)
             os.replace(tmp, path)
+            seal(path)
     if use_disk:
         # Mark the mesh as having a persistent disk identity so dependent
         # caches (e.g. the sparse-operator cache) may persist alongside it.

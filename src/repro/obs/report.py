@@ -253,12 +253,14 @@ def render_backend_cost_report(rows: list[BackendCost], title: str) -> str:
 # --------------------------------------------------------- fault and recovery
 def resilience_rows(registry: MetricsRegistry) -> list[list[str]]:
     """Every fault/recovery series: injected faults, retries, fallbacks,
-    degradations, backoff, checkpoints and watchdog violations.
+    degradations, backoff, checkpoints, watchdog violations and
+    quarantined cache entries.
 
     Covers the ``resilience.*`` namespace written by the fault plans
-    (:mod:`repro.resilience.faults`) and the per-layer recovery mechanisms,
-    so one cost report shows both what was thrown at a run and how it
-    survived.
+    (:mod:`repro.resilience.faults`), the per-layer recovery mechanisms
+    and the cache integrity layer (``resilience.cache.quarantined``,
+    tagged by cache ``kind``), so one cost report shows both what was
+    thrown at a run and how it survived.
     """
     rows = []
     for s in registry.series():

@@ -328,6 +328,24 @@ def _worker_main(
     from ..engine.split import placements_active
     from ..resilience.recovery import use_recovery_policy
 
+    # A SIGKILLed parent cannot tell its workers anything, and under the
+    # fork start method each later worker inherits the pipe write-ends of
+    # the earlier ones — so no worker ever sees EOF on its command pipe
+    # and the rank set would outlive the run as orphans.  Watch the parent
+    # directly instead: when it dies we are re-parented, and this process
+    # must go too (the durable-run resume spawns a fresh pool).
+    parent_pid = os.getppid()
+
+    def _watch_parent() -> None:
+        while True:
+            if os.getppid() != parent_pid:
+                os._exit(0)
+            time.sleep(0.5)
+
+    threading.Thread(
+        target=_watch_parent, name="parent-watch", daemon=True
+    ).start()
+
     # Private per-process observability: never double-count series that
     # were forked from the parent.
     set_registry(MetricsRegistry())
@@ -659,6 +677,38 @@ class PoolShallowWater:
             self.mesh, start_state, self.gather_state(),
             self.b_cell, self.f_vertex, self.config, steps,
         )
+
+    def advance(self, steps: int) -> None:
+        """Advance ``steps`` RK-4 steps without gathering a result.
+
+        The chunked driver for durable runs: the caller interleaves
+        ``advance`` with :meth:`gather_state` checkpoints and builds one
+        :func:`~repro.parallel.runner.gathered_run_result` at the end.
+        """
+        self._run_steps(steps)
+
+    def load_state(self, state: State, step: int = 0) -> None:
+        """Replace the global state on every rank (resume support).
+
+        Writes ``state`` into the shared segment, rewinds the exchange
+        bookkeeping (every buffer of the double-buffered segment gets the
+        new state, so buffer selection restarts cleanly at seq 0) and has
+        each worker re-slice its local state — the same resynchronization
+        the worker-death recovery performs, driven here by a restored
+        checkpoint instead of a snapshot.
+        """
+        if self._closed:
+            raise WorkerPoolError("pool is closed")
+        self._shared.write_global(state.h, state.u)
+        self._exchanges_done = 0
+        if self._board is not None:
+            self._board.reset()
+        self._snapshot = self._shared.read_global()
+        self._steps_done = step
+        self._broadcast(("load", step))
+        lost = self._await("loaded", range(self.n_ranks))
+        if lost:
+            raise WorkerPoolError(f"ranks lost during state load: {lost}")
 
     def _run_steps(self, steps: int) -> None:
         if self._closed:

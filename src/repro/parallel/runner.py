@@ -302,6 +302,30 @@ class DecomposedShallowWater:
             self.b_cell, self.f_vertex, self.config, steps,
         )
 
+    def advance(self, steps: int) -> None:
+        """Advance ``steps`` steps without gathering (durable chunk driver)."""
+        for _ in range(steps):
+            self.step()
+
+    def load_state(self, state: State, step: int = 0) -> None:
+        """Replace every rank's local state from a restored global ``state``.
+
+        Each rank re-slices its owned + halo points from the global arrays
+        and recomputes its diagnostics — the resume counterpart of the
+        initial-condition slicing in ``__init__`` (``step`` is accepted for
+        signature parity with the pool executor; the lockstep runner keeps
+        no step counter).
+        """
+        for rd in self.ranks:
+            lm = rd.mesh
+            rd.state = State(
+                h=state.h[lm.cells_global].copy(),
+                u=state.u[lm.edges_global].copy(),
+            )
+            rd.diag = compute_solve_diagnostics(
+                lm, rd.state, rd.f_vertex, self.config
+            )
+
     # ------------------------------------------------------------- gathering
     def gather_state(self) -> State:
         """Assemble the global state from the owned slices of all ranks."""

@@ -39,7 +39,10 @@ class AutoCheckpointer:
         Steps between automatic saves (:meth:`maybe_save`); must be >= 1.
     directory : path-like, optional
         Where restart files go.  Default: a temporary directory owned by
-        this checkpointer (deleted with it).
+        this checkpointer (deleted with it).  Pointing at an existing
+        directory *discovers* any prior ``auto-*.npz`` checkpoints in it,
+        so a restarted process can roll back to (or resume from) files a
+        previous process wrote.
     keep : int
         How many newest checkpoints to retain on disk.
     """
@@ -58,13 +61,39 @@ class AutoCheckpointer:
             directory = self._tmp.name
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self._saved: list[tuple[int, Path]] = []
+        self._saved: list[tuple[int, Path]] = self._discover()
+
+    def _discover(self) -> list[tuple[int, Path]]:
+        """Existing ``auto-<step>.npz`` files in the directory, step order."""
+        found: list[tuple[int, Path]] = []
+        for path in self.directory.glob("auto-*.npz"):
+            try:
+                step = int(path.stem.split("-", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            found.append((step, path))
+        return sorted(found)
 
     # ------------------------------------------------------------------ save
     @property
     def last_step(self) -> int | None:
         """Step number of the newest retained checkpoint (``None`` if none)."""
         return self._saved[-1][0] if self._saved else None
+
+    @property
+    def last_path(self) -> Path | None:
+        """Path of the newest retained checkpoint (``None`` if none)."""
+        return self._saved[-1][1] if self._saved else None
+
+    def discard_after(self, step: int) -> None:
+        """Drop (and delete) every checkpoint newer than ``step``.
+
+        A resumed run starting at ``step`` must not be able to roll *forward*
+        onto checkpoints a previous, longer-lived process left behind.
+        """
+        while self._saved and self._saved[-1][0] > step:
+            _, path = self._saved.pop()
+            path.unlink(missing_ok=True)
 
     def maybe_save(self, step: int) -> bool:
         """Save iff ``step`` is a multiple of the interval."""

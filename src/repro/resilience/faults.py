@@ -23,6 +23,14 @@ Every place in the execution stack where hardware can fail is a named
 ``hybrid.transfer``
     One PCIe transfer of the simulated hybrid executor
     (:class:`repro.hybrid.executor.HybridExecutor`), tagged ``dst``.
+``process.crash``
+    One integration step about to start (the serial run loop of
+    :meth:`repro.swm.model.ShallowWaterModel.run` and the durable
+    decomposed loop of :mod:`repro.resilience.durable`), tagged ``step``.
+    The chaos site: with ``action="kill"`` the fire is not an exception
+    but a real ``SIGKILL`` of the current process — the crash-consistency
+    tests use it to die mid-integration and prove that resuming from the
+    run directory is bitwise-invisible.
 
 Each site calls :func:`fault_site` unconditionally; with no plan installed
 that is a single module-global ``None`` check.  A :class:`FaultPlan`
@@ -37,6 +45,8 @@ exactly what was thrown at a run.
 
 from __future__ import annotations
 
+import os
+import signal
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
@@ -61,6 +71,7 @@ KNOWN_SITES: tuple[str, ...] = (
     "engine.split.device",
     "halo.exchange",
     "hybrid.transfer",
+    "process.crash",
 )
 
 
@@ -101,6 +112,13 @@ class FaultSpec:
         Tag filters: the spec only considers calls whose tags contain every
         ``key: value`` pair (compared as strings), e.g.
         ``{"device": "mic"}`` or ``{"op": "flux_divergence"}``.
+    action : str
+        What a fire does.  ``"raise"`` (default) raises
+        :class:`FaultInjected` for the recovery layers to catch.
+        ``"kill"`` delivers ``SIGKILL`` to the current process — no
+        exception, no cleanup, no ``atexit`` — the real-crash mode the
+        durable-run tests use (``{"step": N}`` + ``at=(1,)`` kills at the
+        first call for step ``N``).
     """
 
     site: str
@@ -108,6 +126,7 @@ class FaultSpec:
     probability: float = 0.0
     max_fires: int | None = None
     match: dict = field(default_factory=dict)
+    action: str = "raise"
     # Mutable bookkeeping (per plan run).
     calls: int = field(default=0, compare=False)
     fires: int = field(default=0, compare=False)
@@ -123,6 +142,8 @@ class FaultSpec:
             raise ValueError("`at` uses 1-based call indices")
         if not self.at and self.probability == 0.0:
             raise ValueError("spec never fires: give `at` and/or `probability`")
+        if self.action not in ("raise", "kill"):
+            raise ValueError("action must be 'raise' or 'kill'")
 
     def matches(self, tags: dict) -> bool:
         return all(str(tags.get(k)) == str(v) for k, v in self.match.items())
@@ -166,6 +187,13 @@ class FaultPlan:
                 get_registry().counter(
                     "resilience.fault.injected", site=site
                 ).inc()
+                if spec.action == "kill":
+                    # A real crash: the process dies here, mid-whatever it
+                    # was doing.  No Python-level unwinding happens.
+                    sig = getattr(signal, "SIGKILL", None)
+                    if sig is not None:
+                        os.kill(os.getpid(), sig)
+                    os._exit(137)
                 raise FaultInjected(site, tags, self.total_fires)
 
 

@@ -92,12 +92,24 @@ class ShallowWaterModel:
         invariant_interval: int = 0,
         callback=None,
         checkpoint_dir=None,
+        start_step: int = 0,
+        checkpoint_keep: int | None = None,
+        on_checkpoint=None,
     ) -> RunResult:
         """Phase 2: integrate for ``steps`` steps or ``days`` simulated days.
 
         ``invariant_interval > 0`` records the conserved integrals every that
         many steps (plus at start and end).  ``callback(step, result)`` runs
         after each step when given.
+
+        ``start_step`` labels the current state as already being at that
+        step (a resumed run): step numbering, invariant records and the
+        checkpoint cadence all continue from it, so an interrupted run
+        restarted from a checkpoint writes checkpoints at the *same* steps
+        an uninterrupted run would.  ``checkpoint_keep`` overrides the
+        checkpointer's retention (durable runs keep everything);
+        ``on_checkpoint(step, path)`` fires after every checkpoint write —
+        the durable manifest's commit hook.
 
         The run executes under the recovery policy built from the config's
         retry knobs (:meth:`SWConfig.recovery_policy`).  With
@@ -122,20 +134,23 @@ class ShallowWaterModel:
             raise RuntimeError("initialize() must be called before run()")
 
         from ..resilience.checkpoint import AutoCheckpointer
+        from ..resilience.faults import fault_site
         from ..resilience.guards import NumericalBlowup, Watchdog
         from ..resilience.recovery import use_recovery_policy
 
         config = self.config
+        total = start_step + steps
         watchdog = (
             Watchdog.from_config(self.mesh, self.b_cell, config)
             if config.guard_interval
             else None
         )
-        checkpointer = (
-            AutoCheckpointer(self, config.checkpoint_interval, directory=checkpoint_dir)
-            if config.checkpoint_interval
-            else None
-        )
+        checkpointer = None
+        if config.checkpoint_interval:
+            kw = {} if checkpoint_keep is None else {"keep": checkpoint_keep}
+            checkpointer = AutoCheckpointer(
+                self, config.checkpoint_interval, directory=checkpoint_dir, **kw
+            )
 
         state, diag = self.state, self.diagnostics
         history: list[Invariants] = []
@@ -147,17 +162,24 @@ class ShallowWaterModel:
             )
             history_steps.append(step)
 
-        record(0)
+        record(start_step)
         elapsed_at_ckpt: dict[int, float] = {}
         if checkpointer is not None:
-            checkpointer.save(0)
-            elapsed_at_ckpt[0] = 0.0
+            # A resumed run must not roll forward onto stale checkpoints a
+            # previous process wrote beyond our restart point.
+            checkpointer.discard_after(start_step)
+            if checkpointer.last_step != start_step:
+                checkpointer.save(start_step)
+                if on_checkpoint is not None:
+                    on_checkpoint(start_step, checkpointer.last_path)
+            elapsed_at_ckpt[checkpointer.last_step] = 0.0
         recon = None
         elapsed = 0.0
         rollbacks = 0
-        step = 1
+        step = start_step + 1
         with use_recovery_policy(config.recovery_policy()):
-            while step <= steps:
+            while step <= total:
+                fault_site("process.crash", step=step)
                 report = None
                 result: StepResult | None = None
                 try:
@@ -199,11 +221,13 @@ class ShallowWaterModel:
                     record(step)
                 if checkpointer is not None and checkpointer.maybe_save(step):
                     elapsed_at_ckpt[step] = elapsed
+                    if on_checkpoint is not None:
+                        on_checkpoint(step, checkpointer.last_path)
                 if callback is not None:
                     callback(step, result)
                 step += 1
-        if history_steps[-1] != steps:
-            record(steps)
+        if history_steps[-1] != total:
+            record(total)
 
         self.state, self.diagnostics = state, diag
         return RunResult(
@@ -224,21 +248,34 @@ class ShallowWaterModel:
         the end-of-step diagnostics are a pure function of the state, so
         only ``h``, ``u``, ``b``, ``f`` and the configuration need storing
         (exactly MPAS's restart-stream content for this core).
+
+        The write is crash-atomic: the archive is flushed to a ``*.tmp``
+        sibling, fsynced, then published with ``os.replace`` — a reader can
+        see the old file or the new file under ``path``, never a torn one.
         """
         import dataclasses
         import json
+        import os
         from pathlib import Path
 
         if self.state is None:
             raise RuntimeError("nothing to checkpoint: initialize() first")
-        np.savez_compressed(
-            Path(path),
-            h=self.state.h,
-            u=self.state.u,
-            b_cell=self.b_cell,
-            f_vertex=self.integrator.f_vertex,
-            config=np.array(json.dumps(dataclasses.asdict(self.config))),
-        )
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        # Write through an open handle: savez would append ".npz" to a bare
+        # tmp *name*, breaking the rename; a handle keeps the name exact.
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                h=self.state.h,
+                u=self.state.u,
+                b_cell=self.b_cell,
+                f_vertex=self.integrator.f_vertex,
+                config=np.array(json.dumps(dataclasses.asdict(self.config))),
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
 
     @classmethod
     def from_checkpoint(cls, mesh: Mesh, path) -> "ShallowWaterModel":

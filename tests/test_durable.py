@@ -1,0 +1,374 @@
+"""Durable runs: crash-consistent manifests, bitwise resume, crash chaos.
+
+Three layers, mirroring :mod:`repro.resilience.durable`:
+
+* manifest mechanics — create/open/commit/validate and the
+  crash-consistency bookkeeping (uncommitted files cleaned, digest
+  mismatches quarantined);
+* in-process interrupts — a ``process.crash`` fault *raised* mid-run, then
+  ``repro.api.run(resume=...)`` continuing bitwise-identically to an
+  uninterrupted reference, for the serial, lockstep and pool executors;
+* crash chaos (``@pytest.mark.chaos``) — subprocesses really SIGKILLed
+  mid-step via ``--chaos-crash-at``, resumed with ``--resume``, and the
+  final checkpoint compared byte-for-byte against an uninterrupted
+  in-process reference, across backends and executors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import resolve_case, run, suggested_dt
+from repro.constants import GRAVITY
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.resilience.durable import (
+    MANIFEST_NAME,
+    DurableRun,
+    ManifestError,
+)
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    use_fault_plan,
+)
+from repro.swm.config import SWConfig
+
+SRC = Path(__file__).parent.parent / "src"
+
+
+def _cfg(mesh, **overrides) -> SWConfig:
+    case = resolve_case("galewsky")
+    dt = suggested_dt(mesh, case, GRAVITY, cfl=0.5)
+    return SWConfig(dt=dt, **overrides)
+
+
+def _crash_plan(step: int) -> FaultPlan:
+    """Raise FaultInjected when integration step ``step`` starts."""
+    return FaultPlan(
+        [FaultSpec("process.crash", at=(1,), match={"step": step})]
+    )
+
+
+def _committed_steps(directory: Path) -> list[int]:
+    manifest = json.loads((directory / MANIFEST_NAME).read_text())
+    return [c["step"] for c in manifest["checkpoints"]]
+
+
+def _subprocess_env() -> dict:
+    env = {
+        "PYTHONPATH": str(SRC),
+        "PATH": "/usr/bin:/bin",
+        "HOME": os.environ["HOME"],  # share the mesh/operator disk cache
+    }
+    if "REPRO_CACHE_DIR" in os.environ:
+        env["REPRO_CACHE_DIR"] = os.environ["REPRO_CACHE_DIR"]
+    return env
+
+
+# ---------------------------------------------------------------- manifest
+class TestManifest:
+    def test_create_refuses_existing_run(self, mesh3, tmp_path):
+        cfg = _cfg(mesh3)
+        DurableRun.create(tmp_path, "galewsky", mesh3, cfg, 4)
+        with pytest.raises(ManifestError, match="resume"):
+            DurableRun.create(tmp_path, "galewsky", mesh3, cfg, 4)
+
+    def test_open_missing_directory(self, tmp_path):
+        with pytest.raises(ManifestError, match="not a durable run"):
+            DurableRun.open(tmp_path / "nowhere")
+
+    def test_open_version_mismatch(self, mesh3, tmp_path):
+        run_ = DurableRun.create(tmp_path, "galewsky", mesh3, _cfg(mesh3), 4)
+        run_.manifest["manifest_version"] = 999
+        run_.save()
+        with pytest.raises(ManifestError, match="version"):
+            DurableRun.open(tmp_path)
+
+    def test_commit_and_latest_valid(self, mesh3, tmp_path):
+        run_ = DurableRun.create(tmp_path, "galewsky", mesh3, _cfg(mesh3), 4)
+        for step in (0, 2):
+            path = run_.checkpoint_path / f"auto-{step:08d}.npz"
+            path.write_bytes(f"checkpoint {step}".encode())
+            run_.commit_checkpoint(step, path)
+        assert _committed_steps(tmp_path) == [0, 2]
+        step, path = run_.latest_valid_checkpoint()
+        assert (step, path.name) == (2, "auto-00000002.npz")
+        # Re-committing a step replaces its entry, not duplicates it.
+        path.write_bytes(b"checkpoint 2 rewritten")
+        run_.commit_checkpoint(2, path)
+        assert _committed_steps(tmp_path) == [0, 2]
+
+    def test_digest_mismatch_quarantined(self, mesh3, tmp_path):
+        run_ = DurableRun.create(tmp_path, "galewsky", mesh3, _cfg(mesh3), 4)
+        for step in (0, 2):
+            path = run_.checkpoint_path / f"auto-{step:08d}.npz"
+            path.write_bytes(f"checkpoint {step}".encode())
+            run_.commit_checkpoint(step, path)
+        # Damage the newest *after* commit: same length, different bytes.
+        newest = run_.checkpoint_path / "auto-00000002.npz"
+        newest.write_bytes(b"checkpoint X")
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            step, path = run_.latest_valid_checkpoint()
+        assert step == 0
+        assert not newest.exists()
+        assert (run_.checkpoint_path / "quarantine" / newest.name).exists()
+        (series,) = registry.series("resilience.cache.quarantined")
+        assert series.tags["kind"] == "checkpoint" and series.value == 1
+
+    def test_clean_uncommitted(self, mesh3, tmp_path):
+        run_ = DurableRun.create(tmp_path, "galewsky", mesh3, _cfg(mesh3), 4)
+        committed = run_.checkpoint_path / "auto-00000000.npz"
+        committed.write_bytes(b"committed")
+        run_.commit_checkpoint(0, committed)
+        orphan = run_.checkpoint_path / "auto-00000002.npz"
+        orphan.write_bytes(b"published but never committed")
+        torn = run_.checkpoint_path / "auto-00000004.npz.tmp"
+        torn.write_bytes(b"died mid-write")
+        removed = run_.clean_uncommitted()
+        assert sorted(p.name for p in removed) == [
+            "auto-00000002.npz",
+            "auto-00000004.npz.tmp",
+        ]
+        assert committed.exists()
+
+    def test_validate_compatible_config_diff_is_actionable(
+        self, mesh3, tmp_path
+    ):
+        cfg = _cfg(mesh3)
+        run_ = DurableRun.create(tmp_path, "galewsky", mesh3, cfg, 4)
+        import dataclasses
+
+        other = dataclasses.replace(cfg, thickness_adv_order=4)
+        with pytest.raises(ManifestError, match="thickness_adv_order"):
+            run_.validate_compatible(config=other)
+        run_.validate_compatible(config=cfg)  # identical config passes
+
+    def test_validate_compatible_mesh_fingerprint(self, mesh3, tmp_path):
+        from repro.mesh.cache import cached_mesh
+
+        run_ = DurableRun.create(tmp_path, "galewsky", mesh3, _cfg(mesh3), 4)
+        run_.validate_compatible(mesh=mesh3)
+        with pytest.raises(ManifestError, match="fingerprint"):
+            run_.validate_compatible(mesh=cached_mesh(2, lloyd_iterations=0))
+
+    def test_validate_compatible_case(self, mesh3, tmp_path):
+        run_ = DurableRun.create(tmp_path, "galewsky", mesh3, _cfg(mesh3), 4)
+        with pytest.raises(ManifestError, match="case"):
+            run_.validate_compatible(case_token="tc5")
+
+    def test_case_must_be_a_token(self, mesh3, tmp_path):
+        with pytest.raises(ManifestError, match="name or Williamson number"):
+            run(
+                resolve_case("galewsky"), mesh=mesh3, config=_cfg(mesh3),
+                steps=2, run_dir=tmp_path / "d",
+            )
+
+
+# ------------------------------------------------------------ serial runs
+class TestSerialDurable:
+    def test_matches_plain_run_bitwise(self, mesh3, tmp_path):
+        cfg = _cfg(mesh3, checkpoint_interval=2)
+        ref = run("galewsky", mesh=mesh3, config=cfg, steps=6)
+        d = tmp_path / "run"
+        durable = run("galewsky", mesh=mesh3, config=cfg, steps=6, run_dir=d)
+        assert np.array_equal(durable.state.h, ref.state.h)
+        assert np.array_equal(durable.state.u, ref.state.u)
+        manifest = json.loads((d / MANIFEST_NAME).read_text())
+        assert manifest["completed"] is True
+        assert _committed_steps(d) == [0, 2, 4, 6]
+
+    def test_interrupt_and_resume_bitwise(self, mesh3, tmp_path):
+        cfg = _cfg(mesh3, checkpoint_interval=2)
+        ref = run("galewsky", mesh=mesh3, config=cfg, steps=6)
+        d = tmp_path / "run"
+        with use_fault_plan(_crash_plan(4)):
+            with pytest.raises(FaultInjected):
+                run("galewsky", mesh=mesh3, config=cfg, steps=6, run_dir=d)
+        assert _committed_steps(d) == [0, 2]  # steps 1-3 ran, 4 never did
+        resumed = run(resume=d, mesh=mesh3)
+        assert np.array_equal(resumed.state.h, ref.state.h)
+        assert np.array_equal(resumed.state.u, ref.state.u)
+        manifest = json.loads((d / MANIFEST_NAME).read_text())
+        assert manifest["completed"] is True
+        assert _committed_steps(d) == [0, 2, 4, 6]
+
+    def test_resume_rebuilds_mesh_from_manifest(self, mesh3, tmp_path):
+        """resume= alone suffices: the mesh comes back through the cache."""
+        cfg = _cfg(mesh3, checkpoint_interval=2)
+        ref = run("galewsky", mesh=mesh3, config=cfg, steps=4)
+        d = tmp_path / "run"
+        with use_fault_plan(_crash_plan(3)):
+            with pytest.raises(FaultInjected):
+                run("galewsky", mesh=mesh3, config=cfg, steps=4, run_dir=d)
+        resumed = run(resume=d)  # no mesh argument
+        assert np.array_equal(resumed.state.h, ref.state.h)
+
+    def test_resume_rejects_run_arguments(self, mesh3, tmp_path):
+        with pytest.raises(ValueError, match="resume"):
+            run(resume=tmp_path, case="galewsky")
+        with pytest.raises(ValueError, match="resume"):
+            run(resume=tmp_path, steps=4)
+
+    def test_resume_completed_run_refused(self, mesh3, tmp_path):
+        cfg = _cfg(mesh3)
+        d = tmp_path / "run"
+        run("galewsky", mesh=mesh3, config=cfg, steps=2, run_dir=d)
+        with pytest.raises(ManifestError, match="already completed"):
+            run(resume=d, mesh=mesh3)
+
+    def test_torn_newest_checkpoint_falls_back_a_step(self, mesh3, tmp_path):
+        """A checkpoint damaged after commit costs recomputation, not the run."""
+        cfg = _cfg(mesh3, checkpoint_interval=2)
+        ref = run("galewsky", mesh=mesh3, config=cfg, steps=6)
+        d = tmp_path / "run"
+        with use_fault_plan(_crash_plan(5)):
+            with pytest.raises(FaultInjected):
+                run("galewsky", mesh=mesh3, config=cfg, steps=6, run_dir=d)
+        assert _committed_steps(d) == [0, 2, 4]
+        newest = d / "checkpoints" / "auto-00000004.npz"
+        newest.write_bytes(newest.read_bytes()[:100])  # truncate: torn
+        resumed = run(resume=d, mesh=mesh3)
+        assert (d / "checkpoints" / "quarantine" / newest.name).exists()
+        assert np.array_equal(resumed.state.h, ref.state.h)
+        assert np.array_equal(resumed.state.u, ref.state.u)
+
+    def test_no_surviving_checkpoint_is_actionable(self, mesh3, tmp_path):
+        cfg = _cfg(mesh3, checkpoint_interval=2)
+        d = tmp_path / "run"
+        with use_fault_plan(_crash_plan(3)):
+            with pytest.raises(FaultInjected):
+                run("galewsky", mesh=mesh3, config=cfg, steps=6, run_dir=d)
+        for path in (d / "checkpoints").glob("auto-*.npz"):
+            path.unlink()
+        with pytest.raises(ManifestError, match="no committed checkpoint"):
+            run(resume=d, mesh=mesh3)
+
+
+# -------------------------------------------------------- decomposed runs
+class TestDecomposedDurable:
+    @pytest.mark.parametrize(
+        "parallel,ranks", [("lockstep", 4), ("pool", 4)]
+    )
+    def test_interrupt_and_resume_matches_serial(
+        self, mesh3, tmp_path, parallel, ranks
+    ):
+        serial = run(
+            "galewsky", mesh=mesh3,
+            config=_cfg(mesh3, checkpoint_interval=2), steps=6,
+        )
+        cfg = _cfg(
+            mesh3, checkpoint_interval=2, parallel=parallel, ranks=ranks
+        )
+        d = tmp_path / "run"
+        with use_fault_plan(_crash_plan(5)):
+            with pytest.raises(FaultInjected):
+                run("galewsky", mesh=mesh3, config=cfg, steps=6, run_dir=d)
+        assert _committed_steps(d) == [0, 2, 4]
+        resumed = run(resume=d, mesh=mesh3)
+        assert np.array_equal(resumed.state.h, serial.state.h)
+        assert np.array_equal(resumed.state.u, serial.state.u)
+        assert json.loads((d / MANIFEST_NAME).read_text())["completed"]
+
+    def test_resume_rejects_serial_only_arguments(self, mesh3, tmp_path):
+        cfg = _cfg(mesh3, checkpoint_interval=2, parallel="lockstep", ranks=2)
+        with pytest.raises(ValueError, match="serial"):
+            run(
+                "galewsky", mesh=mesh3, config=cfg, steps=4,
+                run_dir=tmp_path / "d", invariant_interval=1,
+            )
+
+
+# ------------------------------------------------------------ crash chaos
+@pytest.mark.chaos
+class TestChaosKill:
+    """Real SIGKILLs: the subprocess dies mid-step and --resume finishes.
+
+    The matrix covers both engine backends in the serial executor and the
+    4-rank shared-memory pool; the final committed checkpoint of the
+    killed-and-resumed run must match an uninterrupted in-process
+    reference byte-for-byte in ``h`` and ``u``.
+    """
+
+    STEPS = 6
+    KILL_AT = 5
+
+    def _cli(self, *extra: str, timeout: int = 600):
+        return subprocess.run(
+            [
+                sys.executable, "-m", "repro", "run",
+                "--case", "galewsky", "--level", "3",
+                "--steps", str(self.STEPS), "--cfl", "0.5",
+                "--checkpoint-interval", "2",
+                *extra,
+            ],
+            capture_output=True, text=True, timeout=timeout,
+            env=_subprocess_env(),
+        )
+
+    def _reference(self, mesh3, backend: str):
+        return run(
+            "galewsky", mesh=mesh3, config=_cfg(mesh3, backend=backend),
+            steps=self.STEPS,
+        )
+
+    @pytest.mark.parametrize(
+        "backend,parallel,ranks",
+        [
+            ("numpy", "serial", 1),
+            ("sparse", "serial", 1),
+            ("numpy", "pool", 4),
+            ("sparse", "pool", 4),
+        ],
+    )
+    def test_sigkill_then_resume_is_bitwise(
+        self, mesh3, tmp_path, backend, parallel, ranks
+    ):
+        d = tmp_path / "run"
+        executor = [
+            "--backend", backend, "--parallel", parallel, "--ranks",
+            str(ranks), "--run-dir", str(d),
+        ]
+        killed = self._cli(*executor, "--chaos-crash-at", str(self.KILL_AT))
+        assert killed.returncode == -9, killed.stdout + killed.stderr[-2000:]
+        manifest = json.loads((d / MANIFEST_NAME).read_text())
+        assert manifest["completed"] is False
+        assert max(_committed_steps(d)) < self.STEPS
+
+        resumed = self._cli("--resume", str(d))
+        assert resumed.returncode == 0, resumed.stdout + resumed.stderr[-2000:]
+        assert json.loads((d / MANIFEST_NAME).read_text())["completed"]
+
+        final = d / "checkpoints" / f"auto-{self.STEPS:08d}.npz"
+        ref = self._reference(mesh3, backend)
+        with np.load(final) as data:
+            assert np.array_equal(data["h"], ref.state.h)
+            assert np.array_equal(data["u"], ref.state.u)
+
+    def test_sigkill_torn_checkpoint_then_resume(self, mesh3, tmp_path):
+        """Kill, then truncate the newest checkpoint: resume still lands."""
+        d = tmp_path / "run"
+        killed = self._cli(
+            "--backend", "numpy", "--run-dir", str(d),
+            "--chaos-crash-at", str(self.KILL_AT),
+        )
+        assert killed.returncode == -9, killed.stdout + killed.stderr[-2000:]
+        step, path = DurableRun.open(d).latest_valid_checkpoint()
+        path.write_bytes(path.read_bytes()[:50])
+
+        resumed = self._cli("--resume", str(d))
+        assert resumed.returncode == 0, resumed.stdout + resumed.stderr[-2000:]
+        assert (d / "checkpoints" / "quarantine" / path.name).exists()
+        final = d / "checkpoints" / f"auto-{self.STEPS:08d}.npz"
+        ref = self._reference(mesh3, "numpy")
+        with np.load(final) as data:
+            assert np.array_equal(data["h"], ref.state.h)
+            assert np.array_equal(data["u"], ref.state.u)

@@ -1,0 +1,150 @@
+"""Golden-run registry: pinned Galewsky invariant trajectories per backend.
+
+``tests/golden/galewsky-l3-<backend>.json`` pins the mass / total-energy /
+potential-enstrophy trajectory of a 10-step Galewsky run on the level-3
+mesh, stored as ``float.hex()`` strings so the comparison is *bitwise*,
+not approximate.  Any change to the numerics — intended or not — trips
+these tests; an intended change regenerates the registry with::
+
+    REPRO_GOLDEN_REGEN=1 python -m pytest tests/test_golden.py
+
+The resumed-run check closes the durability loop: a run interrupted
+mid-trajectory and resumed must reproduce the golden invariants exactly
+from its restart point onward.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import resolve_case, run, suggested_dt
+from repro.constants import GRAVITY
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    use_fault_plan,
+)
+from repro.swm.config import SWConfig
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+STEPS = 10
+LEVEL = 3
+CFL = 0.5
+REGEN = bool(os.environ.get("REPRO_GOLDEN_REGEN"))
+
+BACKENDS = {
+    "numpy": {"backend": "numpy"},
+    "sparse": {"backend": "sparse"},
+    "plan": {"backend": "sparse", "plan": True},
+}
+
+
+def _config(mesh, name: str, **extra) -> SWConfig:
+    dt = suggested_dt(mesh, resolve_case("galewsky"), GRAVITY, cfl=CFL)
+    return SWConfig(dt=dt, **BACKENDS[name], **extra)
+
+
+def _trajectory(result) -> dict[str, list[str]]:
+    hist = result.invariant_history
+    return {
+        "mass": [float.hex(i.mass) for i in hist],
+        "total_energy": [float.hex(i.total_energy) for i in hist],
+        "potential_enstrophy": [
+            float.hex(i.potential_enstrophy) for i in hist
+        ],
+    }
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"galewsky-l{LEVEL}-{name}.json"
+
+
+def _load_golden(name: str) -> dict:
+    path = _golden_path(name)
+    if not path.exists():
+        pytest.fail(
+            f"missing golden file {path}; regenerate the registry with "
+            f"REPRO_GOLDEN_REGEN=1 python -m pytest tests/test_golden.py"
+        )
+    return json.loads(path.read_text())
+
+
+class TestGoldenRegistry:
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_backend_matches_golden(self, mesh3, name):
+        config = _config(mesh3, name)
+        result = run(
+            "galewsky", mesh=mesh3, config=config, steps=STEPS,
+            invariant_interval=1,
+        )
+        payload = {
+            "case": "galewsky",
+            "level": LEVEL,
+            "steps": STEPS,
+            "cfl": CFL,
+            "dt": float.hex(config.dt),
+            **_trajectory(result),
+        }
+        if REGEN:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            _golden_path(name).write_text(
+                json.dumps(payload, indent=2) + "\n"
+            )
+            return
+        golden = _load_golden(name)
+        assert payload["dt"] == golden["dt"], "time step drifted"
+        for key in ("mass", "total_energy", "potential_enstrophy"):
+            assert payload[key] == golden[key], (
+                f"{key} trajectory deviates from tests/golden for "
+                f"backend {name!r}; if the numerics change is intended, "
+                f"regenerate with REPRO_GOLDEN_REGEN=1"
+            )
+
+    def test_backends_share_one_trajectory(self):
+        """The pinned files agree: plan == sparse bitwise, numpy to ~1 ulp.
+
+        The plan executor fuses the *same* CSR operators the sparse
+        backend applies, so their trajectories must be identical to the
+        bit; the numpy backend sums fluxes in a different association
+        order and is allowed round-off-level divergence only.
+        """
+        if REGEN:
+            pytest.skip("regenerating")
+        goldens = {name: _load_golden(name) for name in BACKENDS}
+        keys = ("mass", "total_energy", "potential_enstrophy")
+        assert goldens["numpy"]["dt"] == goldens["sparse"]["dt"]
+        for key in ("dt", *keys):
+            assert goldens["plan"][key] == goldens["sparse"][key], key
+        for key in keys:
+            ref = [float.fromhex(x) for x in goldens["numpy"][key]]
+            got = [float.fromhex(x) for x in goldens["sparse"][key]]
+            for a, b in zip(ref, got):
+                assert abs(a - b) <= 1e-13 * abs(a), key
+
+    def test_resumed_run_matches_golden(self, mesh3, tmp_path):
+        """Interrupt at step 6, resume: invariants rejoin the golden tail."""
+        if REGEN:
+            pytest.skip("regenerating")
+        config = _config(mesh3, "numpy", checkpoint_interval=2)
+        d = tmp_path / "run"
+        with use_fault_plan(FaultPlan([
+            FaultSpec("process.crash", at=(1,), match={"step": 6})
+        ])):
+            with pytest.raises(FaultInjected):
+                run(
+                    "galewsky", mesh=mesh3, config=config, steps=STEPS,
+                    run_dir=d, invariant_interval=1,
+                )
+        resumed = run(resume=d, mesh=mesh3, invariant_interval=1)
+        tail = _trajectory(resumed)
+        golden = _load_golden("numpy")
+        # The resumed history covers steps 4..10 (restart point onward).
+        start = STEPS + 1 - len(tail["mass"])
+        assert start == 4
+        for key in ("mass", "total_energy", "potential_enstrophy"):
+            assert tail[key] == golden[key][start:], key

@@ -522,6 +522,72 @@ class TestAutoCheckpointer:
         with pytest.raises(ValueError):
             AutoCheckpointer(model, interval=1, keep=0)
 
+    def test_torn_write_never_corrupts_published_file(
+        self, mesh3, tmp_path, monkeypatch
+    ):
+        """A crash mid-write leaves the previous checkpoint byte-intact.
+
+        Regression for the pre-atomic ``save_checkpoint`` that wrote the
+        archive in place: dying mid-``savez`` left a torn npz under the
+        published name.  Now the write lands on a ``*.tmp`` sibling and is
+        published with ``os.replace``, so an aborted write must leave the
+        old bytes untouched and loadable.
+        """
+        model = _model(mesh3)
+        path = tmp_path / "restart.npz"
+        model.save_checkpoint(path)
+        good = path.read_bytes()
+
+        def torn_savez(fh, **arrays):
+            fh.write(good[: len(good) // 2])  # half an archive, then die
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(np, "savez_compressed", torn_savez)
+        model.run(steps=1)
+        with pytest.raises(OSError, match="mid-write"):
+            model.save_checkpoint(path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == good
+        resumed = ShallowWaterModel.from_checkpoint(mesh3, path)
+        assert np.array_equal(resumed.state.h, np.load(path)["h"])
+
+    def test_discovers_prior_checkpoints(self, mesh3, tmp_path):
+        """A new checkpointer at an existing directory resumes its ledger."""
+        ref = _model(mesh3)
+        ref.run(steps=4)
+
+        model = _model(mesh3)
+        first = AutoCheckpointer(model, interval=2, directory=tmp_path)
+        model.run(steps=2)
+        first.save(2)
+
+        # A fresh process constructing over the same directory sees the
+        # prior save — and a *.tmp orphan or a .crc sidecar is not a
+        # checkpoint.
+        (tmp_path / "auto-00000009.npz.tmp").write_bytes(b"torn")
+        (tmp_path / "auto-00000002.npz.crc").write_text("crc32 1 00000000\n")
+        model2 = _model(mesh3)
+        ckpt = AutoCheckpointer(model2, interval=2, directory=tmp_path)
+        assert ckpt.last_step == 2
+        assert ckpt.last_path == tmp_path / "auto-00000002.npz"
+        assert ckpt.rollback() == 2
+        model2.run(steps=2)
+        assert np.array_equal(model2.state.h, ref.state.h)
+        assert np.array_equal(model2.state.u, ref.state.u)
+
+    def test_discard_after_drops_future_saves(self, mesh3, tmp_path):
+        model = _model(mesh3)
+        ckpt = AutoCheckpointer(model, interval=1, keep=10, directory=tmp_path)
+        for step in (1, 2, 3):
+            model.run(steps=1)
+            ckpt.save(step)
+        ckpt.discard_after(1)
+        assert ckpt.last_step == 1
+        assert sorted(p.name for p in tmp_path.glob("auto-*.npz")) == [
+            "auto-00000001.npz"
+        ]
+
 
 # ------------------------------------------- checkpoint round-trip (satellite)
 class TestCheckpointRoundTripBackends:
