@@ -1,0 +1,149 @@
+"""Batched-ensemble throughput versus independent serial member runs.
+
+The batched engine's performance claim is simple: advancing ``N``
+perturbed members lockstep through one fused plan — every cached CSR
+operator applied to the whole ``(n, N)`` block in a single matvec — must
+beat launching ``N`` independent serial integrations, because the mesh
+operators, the plan and the Python interpreter overhead are paid once per
+step instead of once per member per step.
+
+This benchmark measures both sides on the Galewsky jet: ``N`` serial
+runs (one :class:`~repro.swm.model.ShallowWaterModel` per member, same
+seeds and perturbations as the batch) against one
+:func:`repro.ensemble.run.run_ensemble` lockstep sweep.  The bitwise
+contract is asserted unconditionally — member ``k`` of the batch must
+equal serial member ``k`` to the bit, or the speedup is meaningless.
+
+The ``>= 2x`` speedup gate is records-and-skips, like ``pool_scaling``:
+on shared/throttled CI hardware the measured ratio is written to
+``benchmarks/results/ensemble_throughput.json`` regardless, and the
+assertion is skipped with the measured number in the skip reason when the
+machine cannot sustain it.
+
+Scale knobs: ``REPRO_BENCH_LEVEL`` (mesh level, default 3),
+``REPRO_BENCH_ENSEMBLE`` (members, default 8),
+``REPRO_BENCH_ENSEMBLE_STEPS`` (steps per timed run, default 10).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, bench_level
+
+SEED = 2015
+AMPLITUDE = 1e-6
+SPEEDUP_GATE = 2.0
+
+
+def _timed_serial_members(mesh, case, cfg, n_members, steps):
+    """N independent serial runs, one model per member (the baseline)."""
+    from repro.ensemble import ensemble_initial_states
+    from repro.swm.model import ShallowWaterModel
+
+    states, b = ensemble_initial_states(mesh, case, n_members, SEED, AMPLITUDE)
+    if case.coriolis is not None:
+        f_vertex = case.coriolis(mesh.metrics.xVertex)
+    else:
+        f_vertex = cfg.coriolis(mesh.metrics.latVertex)
+    t0 = time.perf_counter()
+    results = [
+        ShallowWaterModel.from_state(
+            mesh, cfg, case, states[k], b, f_vertex
+        ).run(steps=steps)
+        for k in range(n_members)
+    ]
+    return time.perf_counter() - t0, results
+
+
+def _timed_batch(mesh, case, cfg, steps):
+    from repro.ensemble.run import run_ensemble
+
+    t0 = time.perf_counter()
+    ens = run_ensemble(mesh, case, cfg, steps)
+    return time.perf_counter() - t0, ens
+
+
+def test_ensemble_throughput(report):
+    from repro.api import SWConfig, build_mesh, resolve_case, suggested_dt
+    from repro.constants import GRAVITY
+
+    level = bench_level()
+    n_members = int(os.environ.get("REPRO_BENCH_ENSEMBLE", "8"))
+    steps = int(os.environ.get("REPRO_BENCH_ENSEMBLE_STEPS", "10"))
+
+    mesh = build_mesh(level)
+    case = resolve_case("galewsky")
+    dt = suggested_dt(mesh, case, GRAVITY, cfl=0.5)
+
+    serial_cfg = SWConfig(dt=dt, backend="sparse", plan=True)
+    batch_cfg = SWConfig(
+        dt=dt, backend="sparse", plan=True, ensemble=n_members,
+        ensemble_seed=SEED, ensemble_amplitude=AMPLITUDE,
+    )
+
+    serial_wall, serial_results = _timed_serial_members(
+        mesh, case, serial_cfg, n_members, steps
+    )
+    batch_wall, ens = _timed_batch(mesh, case, batch_cfg, steps)
+
+    # The bitwise contract first: batching must never change the answer.
+    assert [v.status for v in ens.verdicts] == ["ok"] * n_members
+    for k in range(n_members):
+        assert np.array_equal(
+            ens.members[k].state.h, serial_results[k].state.h
+        ), f"member {k} h diverged from its serial run"
+        assert np.array_equal(
+            ens.members[k].state.u, serial_results[k].state.u
+        ), f"member {k} u diverged from its serial run"
+
+    member_steps = n_members * steps
+    speedup = serial_wall / batch_wall
+    payload = {
+        "case": "galewsky",
+        "mesh_level": level,
+        "n_cells": int(mesh.nCells),
+        "n_members": n_members,
+        "steps": steps,
+        "serial_wall_s": serial_wall,
+        "batch_wall_s": batch_wall,
+        "serial_member_steps_per_s": member_steps / serial_wall,
+        "batch_member_steps_per_s": member_steps / batch_wall,
+        "speedup": speedup,
+        "speedup_gate": SPEEDUP_GATE,
+        "gate_met": speedup >= SPEEDUP_GATE,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ensemble_throughput.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    report(
+        "ensemble_throughput",
+        "\n".join(
+            [
+                f"Ensemble throughput - Galewsky, level {level} "
+                f"({mesh.nCells:,} cells), {n_members} members, {steps} steps",
+                f"  {n_members} serial runs : {serial_wall:8.3f} s   "
+                f"{member_steps / serial_wall:8.1f} member-steps/s",
+                f"  lockstep batch   : {batch_wall:8.3f} s   "
+                f"{member_steps / batch_wall:8.1f} member-steps/s",
+                f"  speedup          : {speedup:8.2f}x   "
+                f"(gate {SPEEDUP_GATE:.1f}x, "
+                f"{'met' if speedup >= SPEEDUP_GATE else 'missed'})",
+            ]
+        ),
+    )
+
+    if speedup < SPEEDUP_GATE:
+        pytest.skip(
+            f"batched speedup {speedup:.2f}x < {SPEEDUP_GATE:.1f}x gate on "
+            f"this machine: recorded in ensemble_throughput.json but not "
+            f"asserted"
+        )
+    assert speedup >= SPEEDUP_GATE

@@ -3,6 +3,7 @@
 Commands
 --------
 ``run``       integrate a test case (any executor), print errors/conservation
+``jobs``      submit / inspect / collect durable jobs (``repro.jobs``)
 ``mesh``      build (and cache) an SCVT mesh, print its quality report
 ``selftest``  run the engine / resilience / observability selftests
 ``report``    per-pattern cost report (forwards to ``repro.obs.report``)
@@ -12,7 +13,11 @@ Commands
 
 ``run`` goes through :func:`repro.api.run`: ``--case`` takes a name
 (``galewsky``, ``tc5``) or a Williamson number, ``--parallel``/``--ranks``
-select the executor (serial, lockstep, or the shared-memory process pool).
+select the executor (serial, lockstep, or the shared-memory process pool),
+and ``--ensemble N`` batches N perturbed-IC members through one execution
+plan (:func:`repro.api.run_ensemble`), printing the per-member verdict
+table.  ``jobs submit`` registers a durable run directory without
+integrating; ``jobs status`` / ``jobs result`` work from any process.
 The per-subsystem CLIs (``python -m repro.engine --selftest``, ...) keep
 working; ``selftest`` and ``report`` are the aggregated front door.
 """
@@ -71,9 +76,12 @@ def _cmd_run(args: argparse.Namespace) -> None:
         raise SystemExit(str(exc)) from None
     mesh = build_mesh(args.level)
     dt = suggested_dt(mesh, case, GRAVITY, cfl=args.cfl)
-    # --plan implies the sparse backend (plans fuse its CSR operators);
-    # an explicit contradictory --backend is rejected by SWConfig.validate.
-    backend = args.backend or ("sparse" if args.plan else "numpy")
+    # --plan and --ensemble imply the sparse backend (plans fuse its CSR
+    # operators; ensembles batch them); an explicit contradictory
+    # --backend is rejected by SWConfig.validate.
+    backend = args.backend or (
+        "sparse" if (args.plan or args.ensemble) else "numpy"
+    )
     config = SWConfig(
         dt=dt,
         thickness_adv_order=args.order,
@@ -84,10 +92,36 @@ def _cmd_run(args: argparse.Namespace) -> None:
         ranks=args.ranks,
         halo_schedule=args.halo_schedule,
         checkpoint_interval=args.checkpoint_interval,
+        ensemble=args.ensemble,
+        ensemble_seed=args.perturb_seed,
+        ensemble_amplitude=args.perturb_amplitude,
     )
     if args.steps is None and args.days is None:
         args.days = case.suggested_days
     case_arg = int(raw) if str(raw).isdigit() else raw
+    if args.ensemble:
+        from repro.api import run_ensemble
+
+        try:
+            config.validate()
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        ens = run_ensemble(
+            case_arg, mesh=mesh, config=config,
+            steps=args.steps, days=args.days, invariant_interval=1,
+        )
+        print(
+            f"TC{case.number} ({case.name}): ensemble of "
+            f"{ens.n_members} members, {ens.steps} steps of {dt:.0f} s "
+            f"on {mesh.nCells} cells [lockstep batch, backend={backend}"
+            f"{'+plan' if config.plan else ''}]"
+        )
+        print(ens.summary_table())
+        mean = ens.mean_invariants()
+        if mean:
+            drift = abs(mean[-1].mass - mean[0].mass) / abs(mean[0].mass)
+            print(f"  ensemble-mean mass drift = {drift:.2e}")
+        return
     with _chaos_plan(args.chaos_crash_at):
         result = run(
             case_arg, mesh=mesh, config=config,
@@ -105,6 +139,45 @@ def _cmd_run(args: argparse.Namespace) -> None:
     if case.exact_thickness is not None:
         err = error_norms(mesh, result.state.h, case.exact_thickness(mesh.metrics.xCell))
         print(f"  l1/l2/linf vs exact = {err.l1:.3e} / {err.l2:.3e} / {err.linf:.3e}")
+
+
+def _cmd_jobs(args: argparse.Namespace) -> None:
+    from repro.jobs import JobError, result, status, submit
+    from repro.resilience.durable import ManifestError
+
+    try:
+        if args.jobs_command == "submit":
+            from repro.api import RunRequest, SWConfig, build_mesh, resolve_case, suggested_dt
+            from repro.constants import GRAVITY
+
+            raw = args.case
+            case_arg = int(raw) if str(raw).isdigit() else raw
+            case = resolve_case(case_arg)
+            mesh = build_mesh(args.level)
+            config = SWConfig(
+                dt=suggested_dt(mesh, case, GRAVITY, cfl=args.cfl),
+                checkpoint_interval=args.checkpoint_interval,
+            )
+            steps = args.steps
+            days = args.days if steps is None else None
+            if steps is None and days is None:
+                days = case.suggested_days
+            handle = submit(RunRequest(
+                case=case_arg, mesh=mesh, config=config,
+                steps=steps, days=days, run_dir=args.run_dir,
+            ))
+            print(f"{handle.id}: {status(handle)} in {args.run_dir}")
+        elif args.jobs_command == "status":
+            print(status(args.run_dir))
+        else:  # result
+            res = result(args.run_dir)
+            print(f"completed: {res.steps} steps, "
+                  f"simulated {res.elapsed_seconds:.0f} s")
+            if res.invariant_history:
+                print(f"  mass drift   = {res.mass_drift():.2e}")
+                print(f"  energy drift = {res.energy_drift():.2e}")
+    except (JobError, ManifestError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _cmd_selftest(args: argparse.Namespace) -> None:
@@ -238,7 +311,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="chaos testing: SIGKILL this process when integration step N "
         "starts (proves --resume continues bitwise-identically)",
     )
+    p.add_argument(
+        "--ensemble", type=int, default=0,
+        help="batch N perturbed-IC members lockstep through one execution "
+        "plan (implies --backend sparse); prints the per-member table",
+    )
+    p.add_argument(
+        "--perturb-seed", type=int, default=0,
+        help="base seed of the per-member IC perturbation streams",
+    )
+    p.add_argument(
+        "--perturb-amplitude", type=float, default=1e-6,
+        help="relative thickness perturbation amplitude (0 = identical "
+        "members)",
+    )
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "jobs", help="submit / inspect / collect durable jobs"
+    )
+    jsub = p.add_subparsers(dest="jobs_command", required=True)
+    js = jsub.add_parser(
+        "submit", help="register a durable run directory without integrating"
+    )
+    js.add_argument("--run-dir", required=True)
+    js.add_argument(
+        "--case", default="2",
+        help="case name (galewsky, tc5, ...) or Williamson number",
+    )
+    js.add_argument("--level", type=int, default=3)
+    js.add_argument("--steps", type=int, default=None)
+    js.add_argument("--days", type=float, default=None)
+    js.add_argument("--cfl", type=float, default=0.6)
+    js.add_argument("--checkpoint-interval", type=int, default=1)
+    js.set_defaults(func=_cmd_jobs)
+    js = jsub.add_parser(
+        "status", help="pending / running / completed for a run directory"
+    )
+    js.add_argument("--run-dir", required=True)
+    js.set_defaults(func=_cmd_jobs)
+    js = jsub.add_parser(
+        "result", help="compute (or recover) the job result synchronously"
+    )
+    js.add_argument("--run-dir", required=True)
+    js.set_defaults(func=_cmd_jobs)
 
     p = sub.add_parser("selftest", help="engine/resilience/obs selftests")
     p.add_argument("--level", type=int, default=3)

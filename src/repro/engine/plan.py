@@ -63,6 +63,23 @@ reused across calls (safe: every consumer reads them before the next
 contract); Diagnostics and Reconstruction outputs are freshly allocated
 per call because callers retain them (run results, watchdogs, rollback
 checkpoints).  A plan is not re-entrant across threads.
+
+Batched plans
+-------------
+``compile_plan(..., batch=N)`` emits the same stage program over
+``(n, N)`` field blocks: every buffer gains a trailing *member* axis and
+every CSR matvec becomes one matrix–matrix product against the whole
+block (scipy's ``csr_matvecs`` kernel).  That kernel accumulates each
+output row over the stored entries in exactly the order ``csr_matvec``
+does, per column — so **column k of a batched stage is bitwise identical
+to the serial stage applied to column k**, which is the foundation the
+ensemble engine (:mod:`repro.ensemble`) builds its per-member
+reproducibility contract on.  The one non-linear stage
+(``coriolis_edge_term``) loops over members on contiguous column copies;
+the ``E1`` stability check flags diverging members into a caller-provided
+mask instead of raising, so one poisoned member cannot stall the batch.
+Batched plans are memoized next to the serial ones, keyed by
+``plan_key(config) + (batch,)``.
 """
 
 from __future__ import annotations
@@ -198,8 +215,56 @@ def _probe_csr_matvec():
 _CSR_MATVEC = _probe_csr_matvec()
 
 
+def _probe_csr_matvecs():
+    """scipy's raw multi-vector ``csr_matvecs`` kernel, verified against ``M @ X``.
+
+    ``M @ X`` for a 2-D ``X`` zero-fills the output and runs this kernel,
+    which walks each output row's stored entries in the same order as
+    ``csr_matvec`` — so every column of the batched product is bitwise
+    identical to the serial matvec of that column.  The batched plan
+    relies on that for its per-member reproducibility contract.
+    """
+    try:
+        from scipy.sparse import _sparsetools
+
+        fn = _sparsetools.csr_matvecs
+    except (ImportError, AttributeError):  # pragma: no cover - scipy variant
+        return None
+    m = sp.csr_matrix(np.arange(12.0).reshape(3, 4) / 7.0)
+    x = np.ascontiguousarray(np.linspace(-1.0, 1.0, 8).reshape(4, 2))
+    out = np.zeros((3, 2))
+    try:
+        fn(3, 4, 2, m.indptr, m.indices, m.data, x.ravel(), out.ravel())
+    except Exception:  # pragma: no cover - scipy variant
+        return None
+    if not np.array_equal(out, m @ x):  # pragma: no cover - scipy variant
+        return None
+    return fn
+
+
+_CSR_MATVECS = _probe_csr_matvecs()
+
+
 def _matvec(m: sp.csr_matrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
-    """``out[:] = m @ x`` into a preallocated buffer, bitwise-identical."""
+    """``out[:] = m @ x`` into a preallocated buffer, bitwise-identical.
+
+    Accepts a 1-D vector or a 2-D ``(n, N)`` member block; either way each
+    column matches the serial ``m @ column`` bit for bit.
+    """
+    if x.ndim == 2:
+        if (
+            _CSR_MATVECS is None
+            or not x.flags.c_contiguous
+            or not out.flags.c_contiguous
+        ):
+            out[:] = m @ x
+            return out
+        out.fill(0.0)
+        _CSR_MATVECS(
+            m.shape[0], m.shape[1], x.shape[1],
+            m.indptr, m.indices, m.data, x.ravel(), out.ravel(),
+        )
+        return out
     if _CSR_MATVEC is None or not x.flags.c_contiguous:
         out[:] = m @ x
         return out
@@ -373,10 +438,13 @@ class ExecutionPlan:
         buffers: dict[str, np.ndarray],
         composed: tuple[str, ...],
         schedule_labels: dict[str, list[str]],
+        batch: int = 0,
     ) -> None:
         self._mesh = weakref.ref(mesh)
         self.key = key
         self.fuse = fuse
+        #: 0 for a serial plan; N > 0 when the stages run over (n, N) blocks.
+        self.batch = int(batch)
         self._tend = tend_stages
         self._diag = diag_stages
         self._recon = recon_stages
@@ -417,10 +485,11 @@ class ExecutionPlan:
     def tend(self, state, diag, b_cell) -> tuple[np.ndarray, np.ndarray]:
         """Fused ``compute_tend``: the (A1, B1) segment of the schedule."""
         with get_registry().timer("engine.plan", segment="tend").time():
+            b = b_cell[:, None] if (self.batch and b_cell.ndim == 1) else b_cell
             ctx = self._ctx(
                 h=state.h,
                 u=state.u,
-                b=b_cell,
+                b=b,
                 h_edge=diag.h_edge,
                 ke=diag.ke,
                 pv_edge=diag.pv_edge,
@@ -430,26 +499,43 @@ class ExecutionPlan:
             self._run(self._tend, ctx)
             return ctx["tend_h"], ctx["tend_u"]
 
-    def diagnostics(self, state, f_vertex):
-        """Fused ``compute_solve_diagnostics``: the post-exchange segment."""
+    def diagnostics(self, state, f_vertex, unstable=None):
+        """Fused ``compute_solve_diagnostics``: the post-exchange segment.
+
+        For a batched plan ``unstable`` may be an ``(N,)`` bool array: the
+        ``E1`` stability guard OR-s per-member non-positive ``h_vertex``
+        flags into it instead of raising, so one diverging member cannot
+        stall the batch.  ``None`` keeps the serial raise semantics.
+        """
         from ..swm.state import Diagnostics
 
         n_cells, n_edges, n_vertices = self._n
+        if self.batch:
+            shp = lambda n: (n, self.batch)  # noqa: E731
+        else:
+            shp = lambda n: n  # noqa: E731
         with get_registry().timer("engine.plan", segment="diagnostics").time():
+            f = (
+                f_vertex[:, None]
+                if (self.batch and f_vertex.ndim == 1)
+                else f_vertex
+            )
             ctx = self._ctx(
                 h=state.h,
                 u=state.u,
-                f=f_vertex,
-                h_edge=np.empty(n_edges),
-                ke=np.empty(n_cells),
-                vorticity=np.empty(n_vertices),
-                divergence=np.empty(n_cells),
-                v=np.empty(n_edges),
-                h_vertex=np.empty(n_vertices),
-                pv_vertex=np.empty(n_vertices),
-                pv_cell=np.empty(n_cells),
-                pv_edge=np.empty(n_edges),
+                f=f,
+                h_edge=np.empty(shp(n_edges)),
+                ke=np.empty(shp(n_cells)),
+                vorticity=np.empty(shp(n_vertices)),
+                divergence=np.empty(shp(n_cells)),
+                v=np.empty(shp(n_edges)),
+                h_vertex=np.empty(shp(n_vertices)),
+                pv_vertex=np.empty(shp(n_vertices)),
+                pv_cell=np.empty(shp(n_cells)),
+                pv_edge=np.empty(shp(n_edges)),
             )
+            if unstable is not None:
+                ctx["unstable"] = unstable
             self._run(self._diag, ctx)
             return Diagnostics(
                 h_edge=ctx["h_edge"],
@@ -517,25 +603,43 @@ class _Compiler:
         "E1", "F1", "G1", "A4", "X6",
     )
 
-    def __init__(self, mesh, config, registry) -> None:
+    def __init__(self, mesh, config, registry, batch: int = 0) -> None:
         self.mesh = mesh
         self.config = config
         self.registry = registry
         self.fuse = getattr(config, "plan_fuse", "exact")
+        #: 0 compiles the serial plan; N > 0 compiles over (n, N) blocks.
+        self.batch = int(batch)
         n_cells, n_edges, n_vertices = mesh.nCells, mesh.nEdges, mesh.nVertices
+        shape = self._shape
         self.buffers: dict[str, np.ndarray] = {
-            "tend_h": np.zeros(n_cells),
-            "tend_u": np.zeros(n_edges),
+            "tend_h": np.zeros(shape(n_cells)),
+            "tend_u": np.zeros(shape(n_edges)),
         }
         # Scratch arena, reused across steps (sized by the widest stage).
-        self._e1 = np.zeros(n_edges)
-        self._e2 = np.zeros(n_edges)
-        self._e3 = np.zeros(n_edges)
-        self._c1 = np.zeros(n_cells)
-        self._v1 = np.zeros(n_vertices)
+        self._e1 = np.zeros(shape(n_edges))
+        self._e2 = np.zeros(shape(n_edges))
+        self._e3 = np.zeros(shape(n_edges))
+        self._c1 = np.zeros(shape(n_cells))
+        self._v1 = np.zeros(shape(n_vertices))
         if config.thickness_adv_order > 2:
-            self._d2 = np.zeros(2 * n_edges)
+            self._d2 = np.zeros(shape(2 * n_edges))
+        if self.batch:
+            self._q = np.zeros(shape(n_edges))
         self.composed: list[str] = []
+
+    def _shape(self, n: int):
+        return (n, self.batch) if self.batch else (n,)
+
+    def _col(self, v: np.ndarray) -> np.ndarray:
+        """A per-mesh constant vector, as a broadcastable column when batched.
+
+        ``(n,) op (n, N)`` is an invalid numpy broadcast, so every mesh
+        vector a batched stage multiplies a member block with must go in
+        as ``(n, 1)``.  Broadcasting is per-column bitwise identical to
+        the serial elementwise op.
+        """
+        return v[:, None] if self.batch else v
 
     def matrix(self, name: str) -> sp.csr_matrix:
         return sparse_operator(self.mesh, name)
@@ -602,14 +706,37 @@ class _Compiler:
         reg = self.registry
         coriolis = reg.op("coriolis_edge_term").impls["numpy"]
 
-        def cor_fast(ctx):
-            ctx["q"] = coriolis(ctx["mesh"], ctx["u"], ctx["h_edge"], ctx["pv_edge"])
+        if self.batch:
+            # The one non-linear stage: loop members over contiguous column
+            # copies of the serial numpy kernel, so each column stays
+            # bitwise identical to the serial stage.
+            n_members = self.batch
+            q = self._q
 
-        def cor_routed(ctx):
-            ctx["q"] = reg.dispatch(
-                "coriolis_edge_term", ctx["mesh"], ctx["u"], ctx["h_edge"],
-                ctx["pv_edge"], backend="sparse",
-            )
+            def cor_fast(ctx):
+                mesh = ctx["mesh"]
+                u, h_edge, pv_edge = ctx["u"], ctx["h_edge"], ctx["pv_edge"]
+                for k in range(n_members):
+                    q[:, k] = coriolis(
+                        mesh,
+                        np.ascontiguousarray(u[:, k]),
+                        np.ascontiguousarray(h_edge[:, k]),
+                        np.ascontiguousarray(pv_edge[:, k]),
+                    )
+                ctx["q"] = q
+
+            cor_routed = cor_fast
+        else:
+            def cor_fast(ctx):
+                ctx["q"] = coriolis(
+                    ctx["mesh"], ctx["u"], ctx["h_edge"], ctx["pv_edge"]
+                )
+
+            def cor_routed(ctx):
+                ctx["q"] = reg.dispatch(
+                    "coriolis_edge_term", ctx["mesh"], ctx["u"], ctx["h_edge"],
+                    ctx["pv_edge"], backend="sparse",
+                )
 
         stages.append(
             PlanStage(
@@ -797,7 +924,7 @@ class _Compiler:
         d2 = self._d2
         d2_1, d2_2 = d2[0::2], d2[1::2]
         e1, e2 = self._e1, self._e2
-        dc2_12 = self.mesh.metrics.dcEdge**2 / 12.0
+        dc2_12 = self._col(self.mesh.metrics.dcEdge**2 / 12.0)
         dc2_half = dc2_12 * 0.5
 
         def corr_fast(ctx):
@@ -867,12 +994,31 @@ class _Compiler:
         M = self.matrix("vertex_from_cells_kite")
         reg = self.registry
 
-        def pv_vertex(ctx):
-            hv = ctx["h_vertex"]
-            if np.any(hv <= 0.0):
-                raise FloatingPointError(_UNSTABLE_MSG)
-            np.add(ctx["f"], ctx["vorticity"], out=ctx["pv_vertex"])
-            np.divide(ctx["pv_vertex"], hv, out=ctx["pv_vertex"])
+        if self.batch:
+            # Batched stability semantics: a non-positive h_vertex is a
+            # *per-member* event.  With an ``unstable`` mask in the ctx the
+            # offending members are flagged (OR-ed in) and the divide runs
+            # under errstate so their columns go inf/nan without stalling
+            # or perturbing the healthy columns (columns are independent);
+            # without a mask the serial raise is preserved.
+            def pv_vertex(ctx):
+                hv = ctx["h_vertex"]
+                bad = np.any(hv <= 0.0, axis=0)
+                if bad.any():
+                    flags = ctx.get("unstable")
+                    if flags is None:
+                        raise FloatingPointError(_UNSTABLE_MSG)
+                    np.logical_or(flags, bad, out=flags)
+                np.add(ctx["f"], ctx["vorticity"], out=ctx["pv_vertex"])
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    np.divide(ctx["pv_vertex"], hv, out=ctx["pv_vertex"])
+        else:
+            def pv_vertex(ctx):
+                hv = ctx["h_vertex"]
+                if np.any(hv <= 0.0):
+                    raise FloatingPointError(_UNSTABLE_MSG)
+                np.add(ctx["f"], ctx["vorticity"], out=ctx["pv_vertex"])
+                np.divide(ctx["pv_vertex"], hv, out=ctx["pv_vertex"])
 
         def fast(ctx):
             _matvec(M, ctx["h"], ctx["h_vertex"])
@@ -929,13 +1075,24 @@ class _Compiler:
         M = self.matrix("velocity_reconstruction")
         reg = self.registry
 
-        def fast(ctx):
-            ctx["U"] = (M @ ctx["u"]).reshape(-1, 3)
+        if self.batch:
+            n_members = self.batch
 
-        def routed(ctx):
-            ctx["U"] = reg.dispatch(
-                "velocity_reconstruction", ctx["mesh"], ctx["u"], backend="sparse"
-            )
+            def fast(ctx):
+                # (3n, N) row-major reshaped to (n, 3, N): column k is the
+                # serial (n, 3) reconstruction of member k, bit for bit.
+                ctx["U"] = (M @ ctx["u"]).reshape(-1, 3, n_members)
+
+            routed = fast
+        else:
+            def fast(ctx):
+                ctx["U"] = (M @ ctx["u"]).reshape(-1, 3)
+
+            def routed(ctx):
+                ctx["U"] = reg.dispatch(
+                    "velocity_reconstruction", ctx["mesh"], ctx["u"],
+                    backend="sparse",
+                )
 
         return [
             PlanStage(
@@ -948,6 +1105,8 @@ class _Compiler:
         from ..geometry.sphere import tangent_basis
 
         east, north = tangent_basis(self.mesh.metrics.xCell)
+        if self.batch:
+            east, north = east[:, :, None], north[:, :, None]
 
         def fast(ctx):
             U = ctx["U"]
@@ -1408,12 +1567,14 @@ def compiled_overlap(local_mesh, config, rings: int, registry=None) -> OverlapDi
     return ov
 
 
-def compile_plan(mesh, config, registry=None) -> ExecutionPlan:
+def compile_plan(mesh, config, registry=None, batch: int = 0) -> ExecutionPlan:
     """Compile the fused :class:`ExecutionPlan` for ``(mesh, config)``.
 
     Requires ``config.backend == "sparse"`` (the plan closes over the CSR
-    operators).  Use :func:`compiled_plan` for the memoizing entry point
-    the kernels call.
+    operators).  ``batch=N`` compiles the batched variant whose stages run
+    over ``(n, N)`` member blocks (see *Batched plans* in the module
+    docs).  Use :func:`compiled_plan` for the memoizing entry point the
+    kernels call.
     """
     from ..dataflow.schedule import schedule_substep
     from .registry import default_registry
@@ -1428,11 +1589,13 @@ def compile_plan(mesh, config, registry=None) -> ExecutionPlan:
         raise ValueError(
             f"plan_fuse must be one of {PLAN_FUSE_MODES}, got {fuse!r}"
         )
+    if int(batch) < 0:
+        raise ValueError(f"batch must be >= 0 (0 compiles serial), got {batch!r}")
     reg = registry if registry is not None else default_registry()
     bad = unplanned_labels(config)
     if bad:
         raise KeyError(f"unplannable Table I labels: {sorted(bad)}")
-    comp = _Compiler(mesh, config, reg)
+    comp = _Compiler(mesh, config, reg, batch=batch)
     sched1 = schedule_substep(config, stage=1)
     sched4 = schedule_substep(config, stage=4)
     tend = comp.compile_kernel(sched1, "compute_tend")
@@ -1455,6 +1618,7 @@ def compile_plan(mesh, config, registry=None) -> ExecutionPlan:
             "reconstruct": [sched4.graph.instance(n).label
                             for n in sched4.nodes_for_kernel("mpas_reconstruct")],
         },
+        batch=batch,
     )
 
 
@@ -1464,23 +1628,23 @@ _PLANS: "weakref.WeakKeyDictionary[object, dict[tuple, ExecutionPlan]]" = (
 )
 
 
-def compiled_plan(mesh, config, registry=None) -> ExecutionPlan:
+def compiled_plan(mesh, config, registry=None, batch: int = 0) -> ExecutionPlan:
     """The memoized plan for ``(mesh, config)``, compiled at most once.
 
-    Keyed by :func:`plan_key`, so a config mutation that changes the
-    compiled structure (e.g. the rollback handler halving ``dt``, which is
-    baked into the APVM factor) transparently compiles a fresh plan; the
-    underlying CSR operators are shared through the PR 5 operator cache
-    either way.
+    Keyed by :func:`plan_key` (plus the batch width), so a config mutation
+    that changes the compiled structure (e.g. the rollback handler halving
+    ``dt``, which is baked into the APVM factor) transparently compiles a
+    fresh plan; the underlying CSR operators are shared through the PR 5
+    operator cache either way.
     """
     plans = _PLANS.get(mesh)
     if plans is None:
         plans = {}
         _PLANS[mesh] = plans
-    key = plan_key(config)
+    key = plan_key(config) + (int(batch),)
     plan = plans.get(key)
     if plan is None:
-        plan = compile_plan(mesh, config, registry=registry)
+        plan = compile_plan(mesh, config, registry=registry, batch=batch)
         plans[key] = plan
         get_registry().counter("engine.plan.compile", fuse=plan.fuse).inc()
     return plan

@@ -463,8 +463,15 @@ class SliceableOp(CompiledOp):
 
 
 def _pair(y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    d2 = y.reshape(-1, 2)
+    # A 2-D y is a batched (2n, N) member block: keep the member axis last.
+    d2 = y.reshape(-1, 2) if y.ndim == 1 else y.reshape(-1, 2, y.shape[1])
     return np.ascontiguousarray(d2[:, 0]), np.ascontiguousarray(d2[:, 1])
+
+
+def _triples(y: np.ndarray) -> np.ndarray:
+    # Block rows 3c + i -> component i of cell c; a 2-D y is a batched
+    # (3n, N) member block reshaped to (n, 3, N).
+    return y.reshape(-1, 3) if y.ndim == 1 else y.reshape(-1, 3, y.shape[1])
 
 
 def build_sparse_impls() -> dict[str, Callable]:
@@ -491,7 +498,7 @@ def build_sparse_impls() -> dict[str, Callable]:
     impls["velocity_reconstruction"] = SliceableOp(
         "velocity_reconstruction",
         "velocity_reconstruction",
-        post=lambda y: y.reshape(-1, 3),
+        post=_triples,
         block=3,
     )
     # Tuple-valued (and no_split in the registry): plain CompiledOp.

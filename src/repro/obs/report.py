@@ -42,6 +42,8 @@ __all__ = [
     "render_kernel_profile",
     "resilience_rows",
     "render_resilience_report",
+    "ensemble_rows",
+    "render_ensemble_report",
     "halo_rows",
     "render_halo_report",
     "run_traced",
@@ -277,6 +279,40 @@ def render_resilience_report(registry: MetricsRegistry, title: str) -> str:
 
     rows = resilience_rows(registry) or [["(no faults injected)", "-", "0"]]
     return render_table(title, ["series", "tags", "value"], rows)
+
+
+# ------------------------------------------------------------ ensemble runs
+def ensemble_rows(registry: MetricsRegistry) -> list[list[str]]:
+    """Every ``ensemble.*`` metric series: width, survivors, per-member
+    step counts and divergences (tagged ``member=k``), and the lockstep
+    step timer."""
+    rows = []
+    for s in registry.series():
+        if not s.name.startswith("ensemble."):
+            continue
+        tags = ", ".join(f"{k}={v}" for k, v in sorted(s.tags.items())) or "-"
+        if hasattr(s, "value"):  # counters and gauges
+            shown = f"{s.value:g}"
+        else:  # the ensemble.step timer
+            shown = f"{s.count} calls, {s.total:.4f} s total"
+        rows.append([s.name, tags, shown])
+    return rows
+
+
+def render_ensemble_report(result, registry: MetricsRegistry, title: str) -> str:
+    """The per-member verdict table plus the ``ensemble.*`` metric series.
+
+    ``result`` is an :class:`~repro.ensemble.run.EnsembleResult`; its
+    member summary leads, the registry rows (including the per-member
+    ``ensemble.member.steps`` counters) follow.
+    """
+    from ..bench.tables import render_table
+
+    parts = [f"{title}", "", result.summary_table()]
+    rows = ensemble_rows(registry)
+    if rows:
+        parts += ["", render_table("Ensemble metrics", ["series", "tags", "value"], rows)]
+    return "\n".join(parts)
 
 
 # ----------------------------------------------------------- halo exchanges
@@ -560,10 +596,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--compare-backends", action="store_true",
                         help="run under every backend and print the "
                              "per-backend per-pattern dispatch costs")
+    parser.add_argument("--ensemble", type=int, default=0,
+                        help="trace a lockstep ensemble of N members and "
+                             "print the per-member summary table")
     args = parser.parse_args(argv)
 
     if args.selftest:
         return _selftest()
+
+    if args.ensemble:
+        from ..api import run_ensemble
+
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with use_tracer(tracer), use_registry(registry):
+            ens = run_ensemble(
+                args.case, level=args.level, steps=args.steps,
+                ensemble=args.ensemble, invariant_interval=1,
+            )
+        print(render_ensemble_report(
+            ens, registry,
+            f"Ensemble summary ({args.case}, {args.ensemble} members, "
+            f"{args.steps} steps, level {args.level})",
+        ))
+        return 0
 
     if args.overhead:
         ratio = _overhead(args.case, args.level, args.steps)

@@ -125,12 +125,30 @@ class SWConfig:
     guard_cfl_max: float = 0.0
     checkpoint_interval: int = 0
     max_rollbacks: int = 3
+    #: Ensemble width: 0 runs a single scenario; N > 0 advances N
+    #: perturbed-IC members lockstep through one batched execution plan
+    #: (:mod:`repro.ensemble`).  Requires ``backend="sparse"`` and
+    #: ``parallel="serial"``.
+    ensemble: int = 0
+    #: Base seed of the per-member IC perturbation streams; member ``k``
+    #: draws from ``default_rng([ensemble_seed, k])``, so each member's
+    #: perturbation is independent of the ensemble width.
+    ensemble_seed: int = 0
+    #: Relative amplitude of the thickness perturbation applied to each
+    #: member's initial condition (0 runs N identical members).
+    ensemble_amplitude: float = 1e-6
+    #: ``"lockstep"`` advances all members through one batched plan;
+    #: ``"serial"`` runs them one by one (the bitwise reference path).
+    ensemble_mode: str = "lockstep"
 
     #: Execution modes accepted by :attr:`parallel`.
     PARALLEL_MODES = ("serial", "lockstep", "pool")
 
     #: Halo schedules accepted by :attr:`halo_schedule`.
     HALO_SCHEDULES = ("static", "dataflow")
+
+    #: Ensemble execution modes accepted by :attr:`ensemble_mode`.
+    ENSEMBLE_MODES = ("lockstep", "serial")
 
     def __post_init__(self) -> None:
         self.validate()
@@ -202,6 +220,38 @@ class SWConfig:
                 f"plan_fuse must be one of {PLAN_FUSE_MODES}, "
                 f"got {self.plan_fuse!r}"
             )
+        if int(self.ensemble) != self.ensemble or self.ensemble < 0:
+            raise ValueError(
+                "ensemble must be a non-negative integer "
+                f"(0 disables batching), got {self.ensemble!r}"
+            )
+        if int(self.ensemble_seed) != self.ensemble_seed or self.ensemble_seed < 0:
+            raise ValueError(
+                "ensemble_seed must be a non-negative integer "
+                f"(it seeds the per-member rng streams), got {self.ensemble_seed!r}"
+            )
+        if self.ensemble_amplitude < 0.0:
+            raise ValueError(
+                "ensemble_amplitude must be >= 0 (relative thickness "
+                f"perturbation; 0 runs identical members), got "
+                f"{self.ensemble_amplitude!r}"
+            )
+        if self.ensemble_mode not in self.ENSEMBLE_MODES:
+            raise ValueError(
+                f"ensemble_mode must be one of {self.ENSEMBLE_MODES}, "
+                f"got {self.ensemble_mode!r}"
+            )
+        if self.ensemble:
+            if self.backend != "sparse":
+                raise ValueError(
+                    "ensemble runs batch the precompiled CSR operators: "
+                    f"set backend='sparse' (got backend={self.backend!r})"
+                )
+            if self.parallel != "serial":
+                raise ValueError(
+                    "ensemble batching is in-process: set parallel='serial' "
+                    f"(got parallel={self.parallel!r})"
+                )
 
     def recovery_policy(self):
         """The :class:`~repro.resilience.recovery.RecoveryPolicy` these knobs

@@ -239,6 +239,35 @@ class ShallowWaterModel:
             invariant_history=history,
         )
 
+    @classmethod
+    def from_state(
+        cls,
+        mesh: Mesh,
+        config: SWConfig,
+        case: TestCase | None,
+        state: State,
+        b_cell: np.ndarray,
+        f_vertex: np.ndarray,
+    ) -> "ShallowWaterModel":
+        """A runnable model primed with an arbitrary prognostic state.
+
+        The ensemble driver uses this to detach one member from a batch
+        (serial reference runs, rollback continuations): the returned model
+        behaves exactly like one that reached ``state`` by integration,
+        because the end-of-step diagnostics are a pure function of the
+        state (the same contract :meth:`from_checkpoint` relies on).
+        """
+        model = cls(mesh, config)
+        model.case = case
+        state.validate_shapes(mesh.nCells, mesh.nEdges)
+        model.b_cell = np.asarray(b_cell, dtype=np.float64)
+        model.integrator = RK4Integrator(
+            mesh, config, model.b_cell, np.asarray(f_vertex, dtype=np.float64)
+        )
+        model.state = state
+        model.diagnostics = model.integrator.diagnostics_for(state)
+        return model
+
     # ------------------------------------------------------------ checkpoints
     def save_checkpoint(self, path) -> None:
         """Write a restart file: prognostic state + the run's fixed fields.

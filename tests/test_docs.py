@@ -22,6 +22,7 @@ DOCTESTED = [
     "resilience.md",
     "plans.md",
     "parallel.md",
+    "ensemble.md",
 ]
 
 

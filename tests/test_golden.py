@@ -126,6 +126,55 @@ class TestGoldenRegistry:
             for a, b in zip(ref, got):
                 assert abs(a - b) <= 1e-13 * abs(a), key
 
+    def test_ensemble_mean_matches_golden(self, mesh3):
+        """``galewsky-l3-ensemble.json`` pins the 4-member ensemble-*mean*
+        invariant trajectory (fixed seed, lockstep batch).  This guards the
+        whole batched stack — member ICs, the ``(n, N)`` matvec path, the
+        fused batch plan — with one file."""
+        from repro.api import run_ensemble
+
+        n_members = 4
+        config = _config(
+            mesh3, "sparse", ensemble=n_members, ensemble_seed=2015,
+            ensemble_amplitude=1e-6,
+        )
+        ens = run_ensemble(
+            "galewsky", mesh=mesh3, config=config, steps=STEPS,
+            invariant_interval=1,
+        )
+        assert [v.status for v in ens.verdicts] == ["ok"] * n_members
+        payload = {
+            "case": "galewsky",
+            "level": LEVEL,
+            "steps": STEPS,
+            "cfl": CFL,
+            "ensemble": n_members,
+            "seed": 2015,
+            "dt": float.hex(config.dt),
+            "mass": [float.hex(i.mass) for i in ens.mean_invariants()],
+            "total_energy": [
+                float.hex(i.total_energy) for i in ens.mean_invariants()
+            ],
+            "potential_enstrophy": [
+                float.hex(i.potential_enstrophy)
+                for i in ens.mean_invariants()
+            ],
+        }
+        if REGEN:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            _golden_path("ensemble").write_text(
+                json.dumps(payload, indent=2) + "\n"
+            )
+            return
+        golden = _load_golden("ensemble")
+        assert payload["dt"] == golden["dt"], "time step drifted"
+        for key in ("mass", "total_energy", "potential_enstrophy"):
+            assert payload[key] == golden[key], (
+                f"ensemble-mean {key} trajectory deviates from tests/golden; "
+                f"if the numerics change is intended, regenerate with "
+                f"REPRO_GOLDEN_REGEN=1"
+            )
+
     def test_resumed_run_matches_golden(self, mesh3, tmp_path):
         """Interrupt at step 6, resume: invariants rejoin the golden tail."""
         if REGEN:

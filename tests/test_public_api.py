@@ -38,6 +38,14 @@ API_SURFACE = {
     "build_mesh",
     "resolve_case",
     "run",
+    # The job-oriented surface (PR 9): requests, ensembles, the job queue.
+    "RunRequest",
+    "run_ensemble",
+    "EnsembleResult",
+    "JobHandle",
+    "submit",
+    "status",
+    "result",
 }
 
 PACKAGE_SURFACE = {

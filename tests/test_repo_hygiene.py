@@ -56,3 +56,22 @@ def test_gitignore_covers_artifacts():
     gitignore = (REPO / ".gitignore").read_text().splitlines()
     missing = [pat for pat in REQUIRED_IGNORES if pat not in gitignore]
     assert not missing, f".gitignore lacks {missing}"
+
+
+def test_every_source_package_has_an_init():
+    """Every directory under src/repro that ships tracked .py files must be
+    a real package — a missing ``__init__.py`` makes the modules silently
+    unimportable by ``pip install`` consumers while still passing the
+    path-based test suite."""
+    tracked = _tracked_files()
+    package_dirs = {
+        str(Path(path).parent)
+        for path in tracked
+        if path.startswith("src/repro/") and path.endswith(".py")
+    }
+    missing = sorted(
+        d for d in package_dirs if f"{d}/__init__.py" not in tracked
+    )
+    assert not missing, (
+        f"source directories without a tracked __init__.py: {missing}"
+    )
