@@ -3,6 +3,8 @@
 Commands
 --------
 ``run``       integrate a test case (any executor), print errors/conservation
+``cases``     print the scenario catalogue (``repro.swm.scenarios``)
+``golden``    regenerate or check the golden-run regression registry
 ``jobs``      submit / inspect / collect durable jobs (``repro.jobs``)
 ``mesh``      build (and cache) an SCVT mesh, print its quality report
 ``selftest``  run the engine / resilience / observability selftests
@@ -11,8 +13,10 @@ Commands
 ``ladder``    print the Figure 6 optimization ladder
 ``scaling``   print the Figure 8/9 scaling tables
 
-``run`` goes through :func:`repro.api.run`: ``--case`` takes a name
-(``galewsky``, ``tc5``) or a Williamson number, ``--parallel``/``--ranks``
+``run`` goes through :func:`repro.api.run`: ``--case`` takes a scenario
+name or alias (``galewsky``, ``tc5``, ``dambreak``, ...), a Williamson
+number, or a ``perturbed:<base>:<member>:<seed>`` token
+(``python -m repro cases`` lists them all); ``--parallel``/``--ranks``
 select the executor (serial, lockstep, or the shared-memory process pool),
 and ``--ensemble N`` batches N perturbed-IC members through one execution
 plan (:func:`repro.api.run_ensemble`), printing the per-member verdict
@@ -82,10 +86,13 @@ def _cmd_run(args: argparse.Namespace) -> None:
     backend = args.backend or (
         "sparse" if (args.plan or args.ensemble) else "numpy"
     )
+    from repro.swm import scenarios
+
+    sc = scenarios.scenario_for(case)
     config = SWConfig(
         dt=dt,
         thickness_adv_order=args.order,
-        advection_only=(case.number == 1),
+        advection_only=bool(sc is not None and sc.advection_only),
         backend=backend,
         plan=args.plan,
         parallel=args.parallel,
@@ -139,6 +146,75 @@ def _cmd_run(args: argparse.Namespace) -> None:
     if case.exact_thickness is not None:
         err = error_norms(mesh, result.state.h, case.exact_thickness(mesh.metrics.xCell))
         print(f"  l1/l2/linf vs exact = {err.l1:.3e} / {err.l2:.3e} / {err.linf:.3e}")
+
+
+def _cmd_cases(args: argparse.Namespace) -> None:
+    from repro.bench.tables import render_table
+    from repro.swm.scenarios import DEFAULT_PERTURB_AMPLITUDE, SCENARIOS
+
+    rows = []
+    for sc in SCENARIOS:
+        aliases = ", ".join(a for a in sc.all_names if a != sc.name) or "-"
+        flags = ", ".join(flag for flag, on in (
+            ("golden", sc.golden),
+            ("topography", sc.topographic),
+            ("advection-only", sc.advection_only),
+            ("discontinuous", sc.discontinuous),
+        ) if on) or "-"
+        rows.append((
+            sc.name,
+            aliases,
+            "-" if sc.number is None else str(sc.number),
+            f"{sc.suggested_days:g}",
+            flags,
+        ))
+    print(render_table(
+        "Scenario catalogue (repro.swm.scenarios)",
+        ["name", "aliases", "number", "days", "flags"],
+        rows,
+    ))
+    print(
+        "any name/alias/number above works as --case; "
+        "perturbed:<base>:<member>:<seed>[:<amplitude>] builds a seeded "
+        f"perturbed-IC variant (default amplitude {DEFAULT_PERTURB_AMPLITUDE:g})"
+    )
+
+
+def _cmd_golden(args: argparse.Namespace) -> None:
+    """Run the golden-run matrix in a pytest subprocess (regen or check).
+
+    A subprocess keeps the registry workflow identical to what CI runs —
+    same collection, same per-cell skip logic — instead of a second,
+    subtly different in-process regeneration path.
+    """
+    import os
+    import subprocess
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    test = root / "tests" / "test_golden.py"
+    if not test.exists():
+        raise SystemExit(
+            f"{test} not found: the golden registry lives in the source "
+            f"checkout (tests/golden/), not in an installed package"
+        )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(root / "src"), env.get("PYTHONPATH")) if p
+    )
+    env.pop("REPRO_GOLDEN_REGEN", None)
+    if args.golden_command == "regen":
+        env["REPRO_GOLDEN_REGEN"] = "1"
+    rc = subprocess.call(
+        [sys.executable, "-m", "pytest", "-q", str(test)], env=env, cwd=root
+    )
+    if rc:
+        raise SystemExit(rc)
+    if args.golden_command == "regen":
+        print(
+            "golden registry regenerated in tests/golden/; run "
+            "`python -m repro golden check` (or the test suite) to confirm"
+        )
 
 
 def _cmd_jobs(args: argparse.Namespace) -> None:
@@ -326,6 +402,22 @@ def build_parser() -> argparse.ArgumentParser:
         "members)",
     )
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("cases", help="print the scenario catalogue")
+    p.set_defaults(func=_cmd_cases)
+
+    p = sub.add_parser(
+        "golden", help="regenerate or check the golden-run registry"
+    )
+    gsub = p.add_subparsers(dest="golden_command", required=True)
+    gsub.add_parser(
+        "regen",
+        help="re-pin tests/golden/ from the current numerics "
+        "(REPRO_GOLDEN_REGEN=1 pytest tests/test_golden.py)",
+    ).set_defaults(func=_cmd_golden)
+    gsub.add_parser(
+        "check", help="run the golden matrix against the pinned registry"
+    ).set_defaults(func=_cmd_golden)
 
     p = sub.add_parser(
         "jobs", help="submit / inspect / collect durable jobs"

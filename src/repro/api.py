@@ -53,7 +53,7 @@ from .mesh.cache import cached_mesh
 from .mesh.mesh import Mesh
 from .swm.config import SWConfig
 from .swm.error import ErrorNorms, Invariants, error_norms
-from .swm.galewsky import galewsky_jet
+from .swm import scenarios as _scenarios
 from .swm.model import RunResult, ShallowWaterModel, suggested_dt
 from .swm.state import State
 from .swm.testcases import TEST_CASES, TestCase
@@ -82,18 +82,14 @@ __all__ = [
     "result",
 ]
 
-#: Case names accepted by :func:`resolve_case` (besides Williamson numbers).
+#: Williamson-numbered case aliases accepted by :func:`resolve_case`
+#: (a derived view; the source of truth is :data:`repro.swm.scenarios.
+#: SCENARIOS` — kept for backwards compatibility with pre-registry callers).
 CASE_NAMES = {
-    "cosine_bell": 1,
-    "advection": 1,
-    "tc1": 1,
-    "steady_zonal_flow": 2,
-    "tc2": 2,
-    "isolated_mountain": 5,
-    "mountain": 5,
-    "tc5": 5,
-    "rossby_haurwitz": 6,
-    "tc6": 6,
+    alias: sc.number
+    for sc in _scenarios.SCENARIOS
+    if sc.number is not None and sc.number in TEST_CASES
+    for alias in sc.all_names
 }
 
 
@@ -117,30 +113,15 @@ def build_mesh(
 def resolve_case(case: TestCase | str | int) -> TestCase:
     """A :class:`TestCase` from a name, a Williamson number, or itself.
 
-    Accepted names: ``"galewsky"`` (the barotropic-jet benchmark, also
-    ``"galewsky_balanced"`` for the unperturbed variant) and the
-    Williamson catalogue aliases in :data:`CASE_NAMES` (``"tc2"``,
-    ``"steady_zonal_flow"``, ``"tc5"``, ...).  Accepted numbers: the keys
-    of :data:`repro.swm.testcases.TEST_CASES`.
+    A thin veneer over the scenario library
+    (:func:`repro.swm.scenarios.resolve`): accepts every catalogue name
+    and alias (``"galewsky"``, ``"tc5"``, ``"dam_break"``, ...; see
+    :func:`repro.swm.scenarios.known_names`), Williamson numbers, and the
+    parametric seeded perturbed-IC tokens
+    (``"perturbed:<base>:<member>:<seed>[:<amplitude>]"``) whose initial
+    conditions match the same-seed :mod:`repro.ensemble` member bitwise.
     """
-    if isinstance(case, TestCase):
-        return case
-    if isinstance(case, str):
-        name = case.strip().lower()
-        if name == "galewsky":
-            return galewsky_jet(perturbed=True)
-        if name == "galewsky_balanced":
-            return galewsky_jet(perturbed=False)
-        if name in CASE_NAMES:
-            return TEST_CASES[CASE_NAMES[name]]()
-        known = sorted(CASE_NAMES) + ["galewsky", "galewsky_balanced"]
-        raise ValueError(f"unknown test case {case!r}; known names: {known}")
-    if case in TEST_CASES:
-        return TEST_CASES[case]()
-    raise ValueError(
-        f"unknown Williamson test case number {case!r}; "
-        f"known numbers: {sorted(TEST_CASES)}"
-    )
+    return _scenarios.resolve(case)
 
 
 @dataclasses.dataclass(frozen=True, eq=False)

@@ -310,10 +310,17 @@ def _reconstruct_completed(run):
     answer, not an error: the final committed checkpoint holds the
     prognostic state, and the end-of-step diagnostics are a pure function
     of it (the restart contract), so everything except the in-run
-    invariant history is recoverable bitwise.
+    invariant history is recoverable bitwise.  The *endpoint* invariants
+    are recomputed too — the initial condition re-discretizes from the
+    manifest's case token and the final state comes off the checkpoint,
+    so ``mass_drift()``/``energy_drift()`` answer identically to the
+    original driver (which recorded the same two states).
     """
+    from .api import resolve_case
     from .resilience.durable import ManifestError
+    from .swm.error import invariants
     from .swm.model import RunResult, ShallowWaterModel
+    from .swm.testcases import initialize
 
     total = int(run.manifest["steps"])
     found = run.latest_valid_checkpoint()
@@ -331,11 +338,21 @@ def _reconstruct_completed(run):
     recon = model.integrator._mpas_reconstruct(
         mesh, model.state.u, backend=model.config.backend
     )
+    case = resolve_case(run.manifest["case"])
+    state0, b0 = initialize(mesh, case)
+    diag0 = model.integrator.diagnostics_for(state0)
+    history = [
+        invariants(mesh, state0, diag0, b0, model.config.gravity),
+        invariants(
+            mesh, model.state, model.diagnostics, model.b_cell,
+            model.config.gravity,
+        ),
+    ]
     return RunResult(
         state=model.state,
         diagnostics=model.diagnostics,
         reconstruction=recon,
         steps=total,
         elapsed_seconds=total * model.config.dt,
-        invariant_history=[],
+        invariant_history=history,
     )

@@ -388,11 +388,17 @@ def render_kernel_profile(tracer: Tracer, title: str) -> str:
 
 
 # ------------------------------------------------------------------ traced run
-_CASES = {
-    "galewsky": "galewsky_jet",
-    "tc2": "steady_zonal_flow",
-    "tc5": "isolated_mountain",
-}
+def _resolve_case(token: str):
+    """Resolve ``token`` through the scenario registry (any alias works).
+
+    The report used to carry its own private three-entry case table, which
+    silently drifted from the cases the rest of the package accepted; now
+    every name/alias/``perturbed:`` token in
+    :mod:`repro.swm.scenarios` works here too.
+    """
+    from ..swm import scenarios
+
+    return scenarios.resolve(token)
 
 
 def run_traced(
@@ -418,20 +424,19 @@ def run_traced(
     (lockstep or pool) instead of the serial integrator; its per-exchange
     ``halo`` spans feed :func:`halo_rows`.
     """
-    import repro.swm as swm
     from ..constants import GRAVITY
     from ..mesh import cached_mesh
     from ..swm.testcases import initialize
     from ..swm.timestep import RK4Integrator
 
-    if case not in _CASES:
-        raise ValueError(f"unknown case {case!r}; choose from {sorted(_CASES)}")
     mesh = cached_mesh(level)
-    test_case = getattr(swm, _CASES[case])()
+    test_case = _resolve_case(case)
     if config is None:
+        from ..swm import scenarios
         from ..swm.config import SWConfig
         from ..swm.model import suggested_dt
 
+        sc = scenarios.scenario_for(test_case)
         config = SWConfig(
             dt=suggested_dt(mesh, test_case, GRAVITY, cfl=0.5),
             thickness_adv_order=4,
@@ -439,6 +444,7 @@ def run_traced(
             parallel=parallel,
             ranks=ranks,
             halo_schedule=halo_schedule,
+            advection_only=bool(sc is not None and sc.advection_only),
         )
     if config.parallel != "serial":
         from ..api import run as api_run
@@ -541,7 +547,6 @@ def _overhead(case: str, level: int, steps: int) -> float:
 
 
 def _run_untraced(case: str, level: int, steps: int) -> None:
-    import repro.swm as swm
     from ..constants import GRAVITY
     from ..mesh import cached_mesh
     from ..swm.config import SWConfig
@@ -550,7 +555,7 @@ def _run_untraced(case: str, level: int, steps: int) -> None:
     from ..swm.timestep import RK4Integrator
 
     mesh = cached_mesh(level)
-    test_case = getattr(swm, _CASES[case])()
+    test_case = _resolve_case(case)
     config = SWConfig(
         dt=suggested_dt(mesh, test_case, GRAVITY, cfl=0.5), thickness_adv_order=4
     )
@@ -570,7 +575,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--selftest", action="store_true",
                         help="fast end-to-end smoke test (exporters included)")
-    parser.add_argument("--case", choices=sorted(_CASES), default="galewsky")
+    parser.add_argument("--case", default="galewsky",
+                        help="scenario name, alias, Williamson number, or "
+                             "perturbed:<base>:<member>:<seed> token "
+                             "(catalogue: python -m repro cases)")
     parser.add_argument("--level", type=int, default=3,
                         help="icosahedral mesh level (default 3 = 642 cells)")
     parser.add_argument("--steps", type=int, default=10)

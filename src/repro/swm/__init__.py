@@ -16,10 +16,17 @@ from .output import History, HistoryWriter, load_history
 from .reconstruct import mpas_reconstruct, reconstruction_matrices
 from .state import Diagnostics, Reconstruction, State
 from .tendencies import compute_tend
+from .scenarios import (
+    SCENARIOS,
+    Scenario,
+    perturbed_case,
+)
 from .testcases import (
     TEST_CASES,
     TestCase,
     cosine_bell,
+    dam_break,
+    flow_over_ridge,
     initialize,
     isolated_mountain,
     rossby_haurwitz,
@@ -58,9 +65,14 @@ __all__ = [
     "Reconstruction",
     "State",
     "compute_tend",
+    "SCENARIOS",
+    "Scenario",
+    "perturbed_case",
     "TEST_CASES",
     "TestCase",
     "cosine_bell",
+    "dam_break",
+    "flow_over_ridge",
     "initialize",
     "isolated_mountain",
     "rossby_haurwitz",

@@ -26,10 +26,17 @@ __all__ = ["ShallowWaterModel", "RunResult", "suggested_dt"]
 def suggested_dt(mesh: Mesh, case: TestCase, gravity: float, cfl: float = 0.5) -> float:
     """Gravity-wave CFL time step estimate for a test case on a mesh.
 
-    ``dt = cfl * min(dcEdge) / (|U| + sqrt(g * max(h + b)))``.
+    ``dt = cfl * min(dcEdge) / (|U| + sqrt(g * max(h)))``.
+
+    The wave speed is ``sqrt(g h)`` with ``h`` the *fluid thickness* — the
+    shallow-water phase speed depends on the depth of the moving layer,
+    not on the bottom elevation beneath it, so topography enters only
+    through its effect on ``h`` itself.  (An earlier version used
+    ``max(h + b)``, which needlessly shrank ``dt`` for any case whose
+    topographic peak coincides with the thickness maximum.)
     """
     met = mesh.metrics
-    h = case.thickness(met.xCell) + case.topography(met.xCell)
+    h = case.thickness(met.xCell)
     vel = case.velocity(met.xCell)
     c = np.sqrt(gravity * float(np.max(h)))
     umax = float(np.max(np.linalg.norm(vel, axis=1)))
@@ -47,15 +54,34 @@ class RunResult:
     elapsed_seconds: float  # simulated time
     invariant_history: list[Invariants] = field(default_factory=list)
 
+    def _drift_endpoints(self) -> tuple[Invariants, Invariants]:
+        """The (start, end) invariant records a drift is measured between.
+
+        Every executor records at least the run endpoints; a result that
+        carries fewer than two entries (e.g. hand-built) cannot answer a
+        drift question — raise actionably instead of ``IndexError``.
+        """
+        if len(self.invariant_history) < 2:
+            raise ValueError(
+                "this RunResult carries no start/end invariant records "
+                f"({len(self.invariant_history)} of the 2 required), so "
+                "mass_drift()/energy_drift() are undefined; every executor "
+                "records the endpoints — rebuild the result through "
+                "repro.api.run or repro.jobs.result()"
+            )
+        return self.invariant_history[0], self.invariant_history[-1]
+
     def mass_drift(self) -> float:
         """Relative mass change over the run (should be ~ round-off)."""
-        h0 = self.invariant_history[0].mass
-        return abs(self.invariant_history[-1].mass - h0) / abs(h0)
+        first, last = self._drift_endpoints()
+        return abs(last.mass - first.mass) / abs(first.mass)
 
     def energy_drift(self) -> float:
         """Relative total-energy change over the run."""
-        e0 = self.invariant_history[0].total_energy
-        return abs(self.invariant_history[-1].total_energy - e0) / abs(e0)
+        first, last = self._drift_endpoints()
+        return abs(last.total_energy - first.total_energy) / abs(
+            first.total_energy
+        )
 
 
 class ShallowWaterModel:

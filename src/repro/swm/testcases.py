@@ -34,6 +34,8 @@ __all__ = [
     "steady_zonal_flow",
     "isolated_mountain",
     "rossby_haurwitz",
+    "dam_break",
+    "flow_over_ridge",
     "TEST_CASES",
     "initialize",
 ]
@@ -278,6 +280,96 @@ def rossby_haurwitz(
         topography=topography,
         exact_thickness=None,
         suggested_days=14.0,
+    )
+
+
+def dam_break(
+    radius: float = EARTH_RADIUS,
+    h_inside: float = 2500.0,
+    h_outside: float = 2000.0,
+    cap_radius: float = np.pi / 6.0,
+) -> TestCase:
+    """Dam break on the sphere: a cap of deeper fluid released at rest.
+
+    The discontinuous-initial-condition battery member (the spherical
+    analogue of the dam-break validations Delmas & Soulaïmani run for
+    their multi-GPU SWE solver): the thickness jumps from ``h_inside`` to
+    ``h_outside`` across a spherical cap of angular radius ``cap_radius``
+    centred on the equator, the fluid starts at rest, and the collapse
+    radiates gravity waves through the jump.  No analytic solution; used
+    for conservation checks and shock-adjacent robustness of the
+    unfiltered core (the jump is sampled, not smoothed — cells change
+    value across one edge).
+    """
+    lon_c, lat_c = 1.5 * np.pi, 0.0
+    from ..geometry.sphere import arc_length, lonlat_to_xyz
+
+    centre = lonlat_to_xyz(np.array(lon_c), np.array(lat_c))
+
+    def thickness(points: np.ndarray) -> np.ndarray:
+        r = arc_length(np.asarray(points, dtype=np.float64), centre)
+        return np.where(r < cap_radius, h_inside, h_outside)
+
+    def velocity(points: np.ndarray) -> np.ndarray:
+        return np.zeros((np.asarray(points).shape[0], 3))
+
+    def topography(points: np.ndarray) -> np.ndarray:
+        return np.zeros(np.asarray(points).shape[0])
+
+    return TestCase(
+        name="dam_break",
+        number=9,  # post-Williamson numbering, after the Galewsky jet (8)
+        velocity=velocity,
+        thickness=thickness,
+        topography=topography,
+        exact_thickness=None,
+        suggested_days=0.25,
+    )
+
+
+def flow_over_ridge(
+    radius: float = EARTH_RADIUS,
+    omega: float = OMEGA,
+    g: float = GRAVITY,
+    b0: float = 1500.0,
+    lat_r: float = np.pi / 6.0,
+    half_width: float = np.pi / 9.0,
+) -> TestCase:
+    """Zonal flow over a zonally-symmetric mid-latitude ridge.
+
+    The variable-topography battery member beyond TC5: instead of an
+    isolated conical mountain, the bottom rises in a smooth
+    ``cos^2``-profile ridge of height ``b0`` encircling the sphere at
+    latitude ``lat_r`` (half-width ``half_width``).  The initial surface
+    is the TC2 geostrophic surface of a 20 m/s zonal flow, so the fluid
+    thins over the ridge crest and the flow must negotiate continuous —
+    not compactly-supported — topography; exercises the ``grad(h + b)``
+    pressure-gradient coupling along every longitude.
+    """
+    u0 = 20.0
+    h0 = 5960.0
+
+    def topography(points: np.ndarray) -> np.ndarray:
+        _, lat = _lonlat(points)
+        inside = np.abs(lat - lat_r) < half_width
+        b = np.zeros(np.asarray(points).shape[0])
+        b[inside] = b0 * np.cos(
+            0.5 * np.pi * (lat[inside] - lat_r) / half_width
+        ) ** 2
+        return b
+
+    def thickness(points: np.ndarray) -> np.ndarray:
+        surface = _geostrophic_thickness(points, u0, g * h0, radius, omega, g)
+        return surface - topography(points)
+
+    return TestCase(
+        name="flow_over_ridge",
+        number=10,  # post-Williamson numbering
+        velocity=lambda p: _zonal_velocity_vector(p, u0),
+        thickness=thickness,
+        topography=topography,
+        exact_thickness=None,
+        suggested_days=10.0,
     )
 
 

@@ -23,6 +23,7 @@ DOCTESTED = [
     "plans.md",
     "parallel.md",
     "ensemble.md",
+    "cases.md",
 ]
 
 

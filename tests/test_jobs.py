@@ -240,6 +240,24 @@ class TestDurableJobs:
         )
         assert rec.steps == res.steps
 
+    def test_evicted_completed_job_answers_drift_questions(
+        self, mesh3, dt, tmp_path
+    ):
+        """Regression: reconstructed results used to carry an empty
+        invariant history, so ``mass_drift()``/``energy_drift()`` crashed
+        with ``IndexError``.  The reconstruction now recomputes the
+        endpoint invariants (IC re-discretized from the manifest's case
+        token, final state off the checkpoint), so a fresh process gets
+        the *same* drift numbers the original driver saw — bitwise."""
+        d = tmp_path / "job"
+        h = submit(self._request(mesh3, dt, d))
+        res = result(h)
+        jobs.reset()  # eviction: in-memory record gone, directory remains
+        rec = result(d)
+        assert len(rec.invariant_history) == 2
+        assert rec.mass_drift() == res.mass_drift()
+        assert rec.energy_drift() == res.energy_drift()
+
     def test_resubmit_attaches_and_mismatch_rejected(self, mesh3, dt, tmp_path):
         d = tmp_path / "job"
         submit(self._request(mesh3, dt, d))

@@ -58,6 +58,37 @@ def test_gitignore_covers_artifacts():
     assert not missing, f".gitignore lacks {missing}"
 
 
+def test_every_golden_file_is_consumed():
+    """``tests/golden/`` holds exactly the files the golden matrix reads.
+
+    A stale golden — left behind by a renamed case or a dropped backend —
+    passes every test while looking like coverage; conversely a cell whose
+    file was never generated fails only when that cell runs.  Comparing
+    the directory listing against the matrix's own
+    ``expected_golden_files()`` catches both directions.
+    """
+    import sys
+
+    sys.path.insert(0, str(REPO / "tests"))
+    try:
+        from test_golden import GOLDEN_DIR, expected_golden_files
+    finally:
+        sys.path.pop(0)
+
+    on_disk = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    expected = expected_golden_files()
+    stale = sorted(on_disk - expected)
+    missing = sorted(expected - on_disk)
+    assert not stale, (
+        f"orphaned golden files no test reads: {stale}; delete them or "
+        f"add their cells to tests/test_golden.py"
+    )
+    assert not missing, (
+        f"golden files the matrix expects are missing: {missing}; "
+        f"regenerate with REPRO_GOLDEN_REGEN=1 pytest tests/test_golden.py"
+    )
+
+
 def test_every_source_package_has_an_init():
     """Every directory under src/repro that ships tracked .py files must be
     a real package — a missing ``__init__.py`` makes the modules silently
